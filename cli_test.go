@@ -1,0 +1,130 @@
+package fairsqg
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles one of the repo's commands into a temp dir.
+func buildCLI(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func TestGraphgenCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildCLI(t, "graphgen")
+	out := filepath.Join(t.TempDir(), "g.tsv")
+	cmd := exec.Command(bin, "-dataset", "lki", "-nodes", "500", "-seed", "3", "-out", out, "-stats")
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("graphgen: %v\n%s", err, msg)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := ReadGraphTSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() < 400 || g.NumEdges() == 0 {
+		t.Errorf("generated graph too small: %s", SummarizeGraph(g))
+	}
+	// Unknown format fails loudly.
+	bad := exec.Command(bin, "-format", "xml")
+	if err := bad.Run(); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestFairsqgCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildCLI(t, "fairsqg")
+	save := filepath.Join(t.TempDir(), "workload.json")
+	cmd := exec.Command(bin,
+		"-dataset", "lki", "-nodes", "1500", "-seed", "2",
+		"-canon", "talent", "-max-domain", "3",
+		"-cover", "3", "-alg", "bi", "-eps", "0.2",
+		"-dist-attrs", "major,yearsOfExp", "-save", save)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("fairsqg: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "q1:") {
+		t.Errorf("no suggestions in output:\n%s", out)
+	}
+	// The saved workload loads back.
+	f, err := os.Open(save)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, instances, err := LoadWorkload(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) == 0 {
+		t.Error("saved workload empty")
+	}
+	// Unknown algorithm fails.
+	bad := exec.Command(bin, "-dataset", "lki", "-nodes", "500", "-alg", "zz")
+	if err := bad.Run(); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestExperimentsCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildCLI(t, "experiments")
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments -list: %v\n%s", err, out)
+	}
+	for _, id := range []string{"table2", "fig9a", "fig11b", "fig12"} {
+		if !strings.Contains(string(out), id) {
+			t.Errorf("-list missing %s", id)
+		}
+	}
+	// table2 at quick scale runs fast and prints rows; CSV mode too.
+	run := exec.Command(bin, "-exp", "table2", "-scale", "quick", "-csv")
+	msg, err := run.CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments table2: %v\n%s", err, msg)
+	}
+	if !strings.Contains(string(msg), "experiment,series,x,value,extra") {
+		t.Errorf("CSV header missing:\n%s", msg)
+	}
+	// Unknown experiment exits non-zero.
+	if err := exec.Command(bin, "-exp", "zzz").Run(); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// Unknown scale exits non-zero.
+	if err := exec.Command(bin, "-scale", "zzz").Run(); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}

@@ -1,0 +1,88 @@
+// Command experiments regenerates the paper's tables and figures over the
+// synthetic datasets. Each experiment identifier corresponds to one table
+// or figure of the evaluation section (see DESIGN.md's per-experiment
+// index).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig9a
+//	experiments -exp all -scale quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"fairsqg/internal/bench"
+	"fairsqg/internal/gen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	scale := flag.String("scale", "default", "workload scale: quick, default or full")
+	seed := flag.Int64("seed", 1, "dataset/template seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of the aligned table")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Experiments(), "\n"))
+		return
+	}
+
+	opts := bench.Options{Seed: *seed}
+	switch *scale {
+	case "quick":
+		opts.Nodes = map[string]int{gen.DBP: 2500, gen.LKI: 3000, gen.Cite: 2500}
+		opts.TotalC = 20
+		opts.MaxDomain = 4
+		opts.MaxPairs = 2000
+		opts.StreamLen = 64
+	case "default":
+		opts.Nodes = map[string]int{gen.DBP: 8000, gen.LKI: 10000, gen.Cite: 9000}
+		opts.TotalC = 60
+		opts.MaxDomain = 6
+		opts.MaxPairs = 10000
+		opts.StreamLen = 160
+	case "full":
+		// gen.DefaultNodes per dataset, paper-scale C.
+		opts.TotalC = 200
+		opts.MaxDomain = 8
+		opts.MaxPairs = 20000
+		opts.StreamLen = 240
+	default:
+		log.Fatalf("unknown scale %q (want quick, default or full)", *scale)
+	}
+
+	h := bench.New(opts)
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.Experiments()
+	}
+	failed := false
+	for _, id := range ids {
+		start := time.Now()
+		rows, err := h.Run(id)
+		if err != nil {
+			log.Printf("%s: %v", id, err)
+			failed = true
+			continue
+		}
+		if *csv {
+			fmt.Print(bench.FormatCSV(rows))
+		} else {
+			fmt.Print(bench.FormatRows(rows))
+			fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

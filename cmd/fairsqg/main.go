@@ -1,0 +1,221 @@
+// Command fairsqg generates subgraph queries with fairness and diversity
+// guarantees from the command line: load or synthesize a graph, supply a
+// query template (DSL file or a built-in one), declare the groups to
+// cover, pick an algorithm, and get an ε-Pareto set of query suggestions.
+//
+// Examples:
+//
+//	# talent search on a synthetic professional network
+//	fairsqg -dataset lki -nodes 12000 -canon talent \
+//	        -group-label Person -group-attr gender -cover 40 -alg bi
+//
+//	# custom graph + template, online workload generation
+//	fairsqg -graph g.tsv -template q.tpl \
+//	        -group-label Movie -group-attr genre -values Romance,Horror \
+//	        -cover 50 -alg online -k 10 -w 40 -stream 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"fairsqg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fairsqg: ")
+
+	graphFile := flag.String("graph", "", "graph file (.tsv or .json); empty = use -dataset")
+	dataset := flag.String("dataset", "lki", "synthetic dataset when no -graph: dbp, lki or cite")
+	nodes := flag.Int("nodes", 0, "synthetic dataset size (0 = default)")
+	seed := flag.Int64("seed", 1, "synthetic generation seed")
+
+	templateFile := flag.String("template", "", "template file in the DSL; empty = use -canon")
+	canon := flag.String("canon", "talent", "built-in template: talent, movie or paper")
+	maxDomain := flag.Int("max-domain", 8, "cap per range-variable value ladder")
+
+	groupLabel := flag.String("group-label", "Person", "node label the groups partition")
+	groupAttr := flag.String("group-attr", "gender", "attribute inducing the groups")
+	values := flag.String("values", "", "comma-separated group values (empty = all)")
+	cover := flag.Int("cover", 20, "coverage constraint per group (equal opportunity)")
+	totalC := flag.Int("total", 0, "total coverage budget split evenly (overrides -cover)")
+
+	alg := flag.String("alg", "bi", "algorithm: bi, rf, par, enum, kungs, cbm or online")
+	eps := flag.Float64("eps", 0.05, "ε-dominance tolerance")
+	maxPairs := flag.Int("max-pairs", 20000, "pairwise diversity sample cap")
+	distAttrs := flag.String("dist-attrs", "", "comma-separated attributes for the diversity distance")
+
+	k := flag.Int("k", 10, "online: result size to maintain")
+	w := flag.Int("w", 40, "online: sliding-window size")
+	streamLen := flag.Int("stream", 300, "online: instances to stream")
+
+	verbose := flag.Bool("v", false, "print full query descriptions and answers")
+	save := flag.String("save", "", "write the generated workload as JSON to this file")
+	flag.Parse()
+
+	g, err := loadGraph(*graphFile, *dataset, *nodes, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "graph: %s\n", fairsqg.SummarizeGraph(g))
+
+	tpl, err := loadTemplate(*templateFile, *canon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tpl.BindDomains(g, fairsqg.DomainOptions{MaxValues: *maxDomain}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "template %s: |Q|=%d |X_L|=%d |X_E|=%d, instance space %d\n",
+		tpl.Name, len(tpl.Edges), tpl.NumRangeVars(), tpl.NumEdgeVars(), tpl.InstanceSpaceSize())
+
+	var set fairsqg.Groups
+	if *values != "" {
+		set = fairsqg.GroupsByValues(g, *groupLabel, *groupAttr, strings.Split(*values, ",")...)
+	} else {
+		set = fairsqg.GroupsByAttribute(g, *groupLabel, *groupAttr)
+	}
+	if len(set) == 0 {
+		log.Fatalf("no groups for %s.%s", *groupLabel, *groupAttr)
+	}
+	if *totalC > 0 {
+		set = fairsqg.SplitCoverageEvenly(set, *totalC)
+	} else {
+		set = fairsqg.EqualOpportunity(set, *cover)
+	}
+	for _, gr := range set {
+		fmt.Fprintf(os.Stderr, "group %s: %d members, cover %d\n", gr.Name, gr.Size(), gr.Want)
+	}
+
+	cfg := &fairsqg.Config{
+		G: g, Template: tpl, Groups: set, Eps: *eps, MaxPairs: *maxPairs,
+	}
+	if *distAttrs != "" {
+		cfg.DistanceAttrs = strings.Split(*distAttrs, ",")
+	}
+	generator, err := fairsqg.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *alg == "online" {
+		res, err := generator.Online(
+			fairsqg.NewRandomStream(tpl, *streamLen, *seed+1),
+			fairsqg.OnlineOptions{K: *k, Window: *w})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "online: processed %d, final ε=%.4f\n", res.Processed, res.Eps)
+		printSet(g, res.Set, *verbose)
+		if *save != "" {
+			if err := saveTo(*save, func(w *os.File) error {
+				return fairsqg.SaveOnlineWorkload(w, tpl, res)
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	var res *fairsqg.Result
+	switch *alg {
+	case "bi":
+		res, err = generator.Bidirectional()
+	case "rf":
+		res, err = generator.Refine()
+	case "enum":
+		res, err = generator.Enumerate()
+	case "kungs":
+		res, err = generator.ExactPareto()
+	case "par":
+		res, err = generator.Parallel(0)
+	case "cbm":
+		res, err = generator.CBM(fairsqg.CBMOptions{})
+	default:
+		log.Fatalf("unknown algorithm %q (want bi, rf, par, enum, kungs, cbm or online)", *alg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d suggestions in %v; verified %d, pruned %d, feasible %d\n",
+		*alg, len(res.Set), res.Elapsed.Round(1000000),
+		res.Stats.Verified, res.Stats.Pruned, res.Stats.Feasible)
+	printSet(g, res.Set, *verbose)
+	if *save != "" {
+		if err := saveTo(*save, func(w *os.File) error {
+			return fairsqg.SaveWorkload(w, tpl, res)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// saveTo writes through fn into path, failing loudly on close errors.
+func saveTo(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadGraph(file, dataset string, nodes int, seed int64) (*fairsqg.Graph, error) {
+	if file == "" {
+		return fairsqg.BuildDataset(dataset, fairsqg.DatasetOptions{Nodes: nodes, Seed: seed})
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(file, ".json") {
+		return fairsqg.ReadGraphJSON(f)
+	}
+	return fairsqg.ReadGraphTSV(f)
+}
+
+func loadTemplate(file, canon string) (*fairsqg.Template, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return fairsqg.ParseTemplate(string(data))
+	}
+	switch canon {
+	case "talent":
+		return fairsqg.TalentTemplate(), nil
+	case "movie":
+		return fairsqg.MovieTemplate(), nil
+	case "paper":
+		return fairsqg.PaperTemplate(), nil
+	default:
+		return nil, fmt.Errorf("unknown built-in template %q (want talent, movie or paper)", canon)
+	}
+}
+
+func printSet(g *fairsqg.Graph, set []*fairsqg.Verified, verbose bool) {
+	for i, v := range set {
+		fmt.Printf("q%d: %s\n", i+1, v.Q)
+		fmt.Printf("    diversity=%.3f coverage=%.0f answers=%d\n", v.Point.Div, v.Point.Cov, len(v.Matches))
+		if verbose {
+			fmt.Print(indent(v.Q.Describe(), "    "))
+		}
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

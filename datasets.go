@@ -1,0 +1,72 @@
+package fairsqg
+
+import (
+	"fairsqg/internal/gen"
+	"fairsqg/internal/query"
+)
+
+// Dataset names for BuildDataset, mirroring the paper's evaluation graphs.
+const (
+	// DatasetDBP is the movie knowledge graph (DBpedia-shaped).
+	DatasetDBP = gen.DBP
+	// DatasetLKI is the professional network (LinkedIn-shaped).
+	DatasetLKI = gen.LKI
+	// DatasetCite is the citation graph (Microsoft-Academic-shaped).
+	DatasetCite = gen.Cite
+)
+
+// DatasetOptions scales synthetic dataset generation.
+type DatasetOptions = gen.Options
+
+// TemplateParams controls synthetic template generation.
+type TemplateParams = gen.TemplateParams
+
+// BuildDataset generates one of the synthetic evaluation datasets (frozen).
+// The real graphs the paper uses are not redistributable; these generators
+// reproduce their schema shape at a configurable scale (see DESIGN.md).
+func BuildDataset(name string, opts DatasetOptions) (*Graph, error) {
+	return gen.Build(name, opts)
+}
+
+// GenerateTemplate builds a random tree-shaped template over a dataset's
+// schema with the requested |Q|, |X_L| and |X_E|. Bind its value ladders
+// with Template.BindDomains before use.
+func GenerateTemplate(dataset string, p TemplateParams) (*Template, error) {
+	s, err := gen.SchemaFor(dataset)
+	if err != nil {
+		return nil, err
+	}
+	return gen.GenerateTemplate(s, p)
+}
+
+// GenerateFeasibleTemplate retries template generation across seeds until
+// probe accepts one (typically: the root instance is feasible), binding
+// value ladders against g with the given domain cap.
+func GenerateFeasibleTemplate(g *Graph, dataset string, p TemplateParams, maxDomain, maxTries int,
+	probe func(*Template) bool) (*Template, error) {
+	s, err := gen.SchemaFor(dataset)
+	if err != nil {
+		return nil, err
+	}
+	return gen.GenerateFeasibleTemplate(g, s, p, maxDomain, maxTries, probe)
+}
+
+// TalentTemplate returns the paper's running talent-search template
+// (Fig. 1) for the LKI dataset.
+func TalentTemplate() *Template { return gen.TalentTemplate() }
+
+// MovieTemplate returns the Fig. 12 case-study template for DBP.
+func MovieTemplate() *Template { return gen.MovieTemplate() }
+
+// PaperTemplate returns the academic-search template for Cite.
+func PaperTemplate() *Template { return gen.PaperTemplate() }
+
+// RootInstance materializes the template's most relaxed instance.
+func RootInstance(t *Template) *Instance {
+	return query.MustInstance(t, query.Root(t))
+}
+
+// MakeInstance materializes an instance from explicit binding levels.
+func MakeInstance(t *Template, in Instantiation) (*Instance, error) {
+	return query.NewInstance(t, in)
+}

@@ -1,0 +1,59 @@
+// Package fairsqg generates subgraph queries with fairness and diversity
+// guarantees, implementing the FairSQG framework of "Subgraph Query
+// Generation with Fairness and Diversity Constraints" (ICDE 2022).
+//
+// Given an attributed directed graph G, a query template Q(u_o) whose
+// search predicates carry range variables and whose edges may carry
+// Boolean presence variables, and a set of disjoint node groups P with
+// per-group coverage constraints, the library computes an ε-Pareto set of
+// query instances: concrete queries whose answers trade off max-sum
+// diversity δ(q, G) against the group-coverage quality f(q, P), such that
+// every possible instance is ε-dominated by a returned one.
+//
+// # Quick start
+//
+//	g := fairsqg.NewGraph()
+//	// ... add nodes and edges, then:
+//	g.Freeze()
+//
+//	tpl, _ := fairsqg.ParseTemplate(`
+//	template talent
+//	node u_o Person title = "Director"
+//	node u1 Person yearsOfExp >= $x1
+//	edge u1 u_o recommend ?e1
+//	output u_o
+//	`)
+//	tpl.BindDomains(g, fairsqg.DomainOptions{MaxValues: 8})
+//
+//	set := fairsqg.EqualOpportunity(
+//	    fairsqg.GroupsByAttribute(g, "Person", "gender"), 100)
+//
+//	gen, _ := fairsqg.NewGenerator(&fairsqg.Config{
+//	    G: g, Template: tpl, Groups: set, Eps: 0.05,
+//	})
+//	res, _ := gen.Bidirectional() // BiQGen
+//	for _, v := range res.Set {
+//	    fmt.Println(v.Q, v.Point.Div, v.Point.Cov)
+//	}
+//
+// # Algorithms
+//
+// Four generation strategies are provided, all with the guarantees of the
+// paper's Theorem 2 (correct ε-Pareto maintenance, size-bounded results):
+//
+//   - Generator.Enumerate (EnumQGen): exhaustive baseline.
+//   - Generator.Refine (RfQGen): depth-first lattice refinement with
+//     infeasibility pruning; converges to high-diversity instances first.
+//   - Generator.Bidirectional (BiQGen): interleaved refine/relax search
+//     with sandwich pruning; balanced convergence and the best runtime.
+//   - Generator.Online (OnlineQGen): maintains a fixed-size ε-Pareto set
+//     over an instance stream with bounded delay, enlarging ε only when
+//     forced.
+//
+// Generator.ExactPareto (Kung's algorithm) and Generator.CBM (ε-constraint
+// bisection) are the evaluation baselines.
+//
+// Synthetic datasets mirroring the paper's evaluation graphs and the full
+// experiment harness live in cmd/experiments; see DESIGN.md and
+// EXPERIMENTS.md.
+package fairsqg

@@ -1,0 +1,110 @@
+// Command quickstart demonstrates FairSQG end to end on a hand-built
+// graph: it declares a template in the textual DSL, asks for equal
+// coverage of two gender groups, and prints the ε-Pareto set of suggested
+// queries with their answers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fairsqg"
+)
+
+func main() {
+	// A ten-person professional network: directors, recommenders, orgs.
+	g := fairsqg.NewGraph()
+	type person struct {
+		name, title, gender string
+		exp                 int64
+	}
+	people := []person{
+		{"ann", "Director", "female", 15},
+		{"bob", "Director", "male", 18},
+		{"cyn", "Director", "female", 9},
+		{"dan", "Director", "male", 11},
+		{"eve", "Engineer", "female", 12},
+		{"fred", "Engineer", "male", 6},
+		{"gail", "Manager", "female", 20},
+		{"hank", "Analyst", "male", 3},
+	}
+	ids := make(map[string]fairsqg.NodeID)
+	for _, p := range people {
+		ids[p.name] = g.AddNode("Person", map[string]fairsqg.Value{
+			"name":       fairsqg.Str(p.name),
+			"title":      fairsqg.Str(p.title),
+			"gender":     fairsqg.Str(p.gender),
+			"yearsOfExp": fairsqg.Int(p.exp),
+		})
+	}
+	bigCo := g.AddNode("Org", map[string]fairsqg.Value{"employees": fairsqg.Int(2000)})
+	smallCo := g.AddNode("Org", map[string]fairsqg.Value{"employees": fairsqg.Int(80)})
+	edges := []struct {
+		from, to fairsqg.NodeID
+		label    string
+	}{
+		{ids["eve"], ids["ann"], "recommend"},
+		{ids["eve"], ids["bob"], "recommend"},
+		{ids["fred"], ids["cyn"], "recommend"},
+		{ids["gail"], ids["dan"], "recommend"},
+		{ids["gail"], ids["ann"], "recommend"},
+		{ids["hank"], ids["bob"], "recommend"},
+		{ids["eve"], bigCo, "worksAt"},
+		{ids["gail"], bigCo, "worksAt"},
+		{ids["fred"], smallCo, "worksAt"},
+		{ids["hank"], smallCo, "worksAt"},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.from, e.to, e.label); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g.Freeze()
+
+	// Directors recommended by an experienced colleague who works at an
+	// organization of parameterized size; the recommendation edge itself
+	// is optional (an edge variable).
+	tpl, err := fairsqg.ParseTemplate(`
+template talent
+node u_o Person title = "Director"
+node u1 Person yearsOfExp >= $exp
+node org Org employees >= $size
+edge u1 u_o recommend ?rec
+edge u1 org worksAt
+output u_o
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tpl.BindDomains(g, fairsqg.DomainOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fairness constraint: cover at least one director of each gender,
+	// ideally exactly one of each.
+	set := fairsqg.EqualOpportunity(
+		fairsqg.GroupsByAttribute(g, "Person", "gender"), 1)
+
+	gen, err := fairsqg.NewGenerator(&fairsqg.Config{
+		G: g, Template: tpl, Groups: set, Eps: 0.2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := gen.Bidirectional()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("BiQGen suggested %d queries (verified %d of %d instances):\n\n",
+		len(res.Set), res.Stats.Verified, tpl.InstanceSpaceSize())
+	for i, v := range res.Set {
+		fmt.Printf("q%d: %s\n", i+1, v.Q)
+		fmt.Printf("    diversity=%.3f coverage=%.0f answers=%d\n",
+			v.Point.Div, v.Point.Cov, len(v.Matches))
+		for _, m := range v.Matches {
+			fmt.Printf("    -> %s (%s)\n", g.Attr(m, "name"), g.Attr(m, "gender"))
+		}
+		fmt.Println()
+	}
+}

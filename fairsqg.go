@@ -1,0 +1,232 @@
+package fairsqg
+
+import (
+	"io"
+
+	"fairsqg/internal/core"
+	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
+	"fairsqg/internal/match"
+	"fairsqg/internal/measure"
+	"fairsqg/internal/pareto"
+	"fairsqg/internal/query"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases form the stable public surface.
+type (
+	// Graph is an attributed directed graph G = (V, E, L, T).
+	Graph = graph.Graph
+	// NodeID identifies a graph node.
+	NodeID = graph.NodeID
+	// Value is a dynamically typed attribute value.
+	Value = graph.Value
+	// Op is a comparison operator for search predicates.
+	Op = graph.Op
+	// Stats summarizes a graph.
+	GraphStats = graph.Stats
+
+	// Template is a query template Q(u_o) with variables.
+	Template = query.Template
+	// TemplateBuilder assembles templates programmatically.
+	TemplateBuilder = query.Builder
+	// DomainOptions controls value-ladder construction.
+	DomainOptions = query.DomainOptions
+	// Instance is a fully instantiated query.
+	Instance = query.Instance
+	// Instantiation assigns binding levels to template variables.
+	Instantiation = query.Instantiation
+
+	// Group is one node group with its coverage constraint.
+	Group = groups.Group
+	// Groups is an ordered set of disjoint groups.
+	Groups = groups.Set
+
+	// Point is an instance's (diversity, coverage) coordinates.
+	Point = pareto.Point
+
+	// Config is the generation configuration C = (G, Q(u_o), P, ε).
+	Config = core.Config
+	// Result is a generation outcome.
+	Result = core.Result
+	// Verified is an evaluated instance with its answer and coordinates.
+	Verified = core.Verified
+	// Stats aggregates generation work counters.
+	Stats = core.Stats
+	// VerifyEvent describes one instance verification (trace hook).
+	VerifyEvent = core.VerifyEvent
+
+	// InstanceStream feeds OnlineQGen.
+	InstanceStream = core.InstanceStream
+	// OnlineOptions parameterizes online generation.
+	OnlineOptions = core.OnlineOptions
+	// OnlineResult is the outcome of an online run.
+	OnlineResult = core.OnlineResult
+	// OnlineCheckpoint is a periodic online snapshot.
+	OnlineCheckpoint = core.OnlineCheckpoint
+	// CBMOptions parameterizes the ε-constraint baseline.
+	CBMOptions = core.CBMOptions
+)
+
+// Comparison operators for literals.
+const (
+	OpLT = graph.OpLT
+	OpLE = graph.OpLE
+	OpEQ = graph.OpEQ
+	OpGE = graph.OpGE
+	OpGT = graph.OpGT
+)
+
+// Wildcard is the "don't care" binding level.
+const Wildcard = query.Wildcard
+
+// Attribute value constructors.
+var (
+	// Num wraps a float as a Value.
+	Num = graph.Num
+	// Int wraps an integer as a Value.
+	Int = graph.Int
+	// Str wraps a string as a Value.
+	Str = graph.Str
+	// Bool wraps a boolean as a Value.
+	Bool = graph.Bool
+)
+
+// NewGraph returns an empty graph; add nodes and edges, then Freeze it.
+func NewGraph() *Graph { return graph.New() }
+
+// ReadGraphJSON loads a graph from its JSON form and freezes it.
+func ReadGraphJSON(r io.Reader) (*Graph, error) { return graph.ReadJSON(r) }
+
+// WriteGraphJSON serializes a graph as JSON.
+func WriteGraphJSON(w io.Writer, g *Graph) error { return graph.WriteJSON(w, g) }
+
+// ReadGraphTSV loads a graph from the tab-separated form and freezes it.
+func ReadGraphTSV(r io.Reader) (*Graph, error) { return graph.ReadTSV(r) }
+
+// WriteGraphTSV serializes a graph in the tab-separated form.
+func WriteGraphTSV(w io.Writer, g *Graph) error { return graph.WriteTSV(w, g) }
+
+// SummarizeGraph computes descriptive statistics of a frozen graph.
+func SummarizeGraph(g *Graph) GraphStats { return graph.Summarize(g) }
+
+// InduceSubgraph builds the frozen subgraph induced by a node set,
+// returning it with the old→new ID mapping.
+func InduceSubgraph(g *Graph, nodes []NodeID) (*Graph, map[NodeID]NodeID) {
+	return graph.Induce(g, nodes)
+}
+
+// ParseTemplate reads a template from its textual form (see the package
+// documentation for the grammar).
+func ParseTemplate(src string) (*Template, error) { return query.ParseString(src) }
+
+// FormatTemplate renders a template back into the textual form.
+func FormatTemplate(t *Template) string { return query.Format(t) }
+
+// NewTemplate starts a template builder.
+func NewTemplate(name string) *TemplateBuilder { return query.NewBuilder(name) }
+
+// GroupsByAttribute partitions the nodes with a label into one group per
+// distinct value of an attribute.
+func GroupsByAttribute(g *Graph, label, attr string) Groups {
+	return groups.ByAttribute(g, label, attr)
+}
+
+// GroupsByValues builds groups for the listed attribute values only.
+func GroupsByValues(g *Graph, label, attr string, values ...string) Groups {
+	return groups.ByValues(g, label, attr, values...)
+}
+
+// EqualOpportunity assigns the same coverage constraint to every group.
+func EqualOpportunity(s Groups, c int) Groups { return groups.EqualOpportunity(s, c) }
+
+// SplitCoverageEvenly distributes a total coverage budget evenly.
+func SplitCoverageEvenly(s Groups, total int) Groups { return groups.SplitEvenly(s, total) }
+
+// DisparateImpact configures the "80% rule": the majority group requires c
+// and every other group at least ceil(ratio·c).
+func DisparateImpact(s Groups, majority string, c int, ratio float64) (Groups, error) {
+	return groups.DisparateImpact(s, majority, c, ratio)
+}
+
+// Generator runs the FairSQG algorithms over one configuration.
+type Generator struct {
+	runner *core.Runner
+}
+
+// NewGenerator validates the configuration and prepares a generator.
+func NewGenerator(cfg *Config) (*Generator, error) {
+	r, err := core.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{runner: r}, nil
+}
+
+// Enumerate runs the naive EnumQGen baseline: verify the full instance
+// space, then reduce it to an ε-Pareto set.
+func (g *Generator) Enumerate() (*Result, error) { return g.runner.EnumQGen() }
+
+// Refine runs RfQGen: depth-first "refine as always" exploration of the
+// instance lattice with infeasibility pruning and incremental verification.
+func (g *Generator) Refine() (*Result, error) { return g.runner.RfQGen() }
+
+// Bidirectional runs BiQGen: interleaved forward-refinement and
+// backward-relaxation exploration with sandwich pruning.
+func (g *Generator) Bidirectional() (*Result, error) { return g.runner.BiQGen() }
+
+// Parallel runs ParQGen: the instance lattice is partitioned into slabs
+// along the widest variable and explored concurrently with the RfQGen
+// strategy (the paper's future-work direction). workers <= 0 selects
+// GOMAXPROCS.
+func (g *Generator) Parallel(workers int) (*Result, error) { return g.runner.ParQGen(workers) }
+
+// ExactPareto enumerates the instance space and returns the exact Pareto
+// instance set via Kung's algorithm.
+func (g *Generator) ExactPareto() (*Result, error) { return g.runner.Kungs() }
+
+// CBM runs the ε-constraint bisection baseline.
+func (g *Generator) CBM(opts CBMOptions) (*Result, error) { return g.runner.CBM(opts) }
+
+// Online runs OnlineQGen over an instance stream, maintaining a fixed-size
+// ε-Pareto set with a small, monotonically adjusted ε.
+func (g *Generator) Online(stream InstanceStream, opts OnlineOptions) (*OnlineResult, error) {
+	return g.runner.OnlineQGen(stream, opts)
+}
+
+// AllFeasible verifies the full instance space and returns every feasible
+// instance — the reference set for quality indicators.
+func (g *Generator) AllFeasible() ([]*Verified, error) { return g.runner.AllFeasible() }
+
+// NewRandomStream emits deterministic random instantiations of a template.
+func NewRandomStream(t *Template, count int, seed int64) InstanceStream {
+	return core.NewRandomStream(t, count, seed)
+}
+
+// NewSliceStream replays a fixed list of instances.
+func NewSliceStream(items []*Instance) InstanceStream {
+	return &core.SliceStream{Items: items}
+}
+
+// Answer evaluates a single instance against a graph and returns its match
+// set q(u_o, G) under subgraph isomorphism.
+func Answer(g *Graph, q *Instance) []NodeID {
+	return match.New(g).EvalOutput(q)
+}
+
+// Feasible reports whether an answer meets every coverage constraint.
+func Feasible(set Groups, answer []NodeID) bool { return measure.Feasible(set, answer) }
+
+// Coverage computes the group-coverage quality f(q, P) of an answer.
+func Coverage(set Groups, answer []NodeID) float64 { return measure.Coverage(set, answer) }
+
+// EpsIndicator computes the normalized ε-indicator I_ε = 1 − ε_m/ε of an
+// approximation set against a reference set.
+func EpsIndicator(approx, ref []Point, eps float64) float64 {
+	return pareto.EpsIndicator(approx, ref, eps)
+}
+
+// RIndicator computes the preference-weighted indicator I_R.
+func RIndicator(set []Point, lambdaR, divMax, covMax float64) float64 {
+	return pareto.RIndicator(set, lambdaR, divMax, covMax)
+}

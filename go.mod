@@ -1,0 +1,3 @@
+module fairsqg
+
+go 1.22

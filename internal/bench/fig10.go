@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+
+	"fairsqg/internal/core"
+	"fairsqg/internal/gen"
+)
+
+// efficiencyRows runs every algorithm (including Kungs) on a workload and
+// emits one runtime row per algorithm; Extra carries verified/spawned
+// counts so the pruning factors are visible next to the times.
+func (h *Harness) efficiencyRows(exp, x string, w *workload) ([]Row, error) {
+	algs := append([]algorithm{{"Kungs", (*core.Runner).Kungs}}, approxAlgorithms()...)
+	var rows []Row
+	for _, alg := range algs {
+		r, err := core.NewRunner(w.cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := alg.run(r)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Exp: exp, Series: alg.name, X: x,
+			Value: res.Elapsed.Seconds(),
+			Extra: map[string]float64{
+				"verified": float64(res.Stats.Verified),
+				"spawned":  float64(res.Stats.Spawned),
+				"pruned":   float64(res.Stats.Pruned),
+			},
+		})
+	}
+	return rows, nil
+}
+
+// Fig10a reproduces Fig. 10(a): runtime of the four algorithms per dataset
+// under the Fig. 9(a) setting.
+func (h *Harness) Fig10a() ([]Row, error) {
+	var rows []Row
+	for _, ds := range []string{gen.DBP, gen.LKI, gen.Cite} {
+		w, err := h.buildWorkload(workloadParams{
+			dataset: ds, size: 3, rangeVars: 2, edgeVars: 1,
+			numGroups: 2, totalC: h.opts.totalC(), tightness: 0.7, eps: 0.01,
+			maxDomain: 2 * h.opts.maxDomain(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		r, err := h.efficiencyRows("fig10a", ds, w)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// Fig10b reproduces Fig. 10(b): runtime on LKI while ε varies (Fig. 9(b)
+// setting).
+func (h *Harness) Fig10b() ([]Row, error) {
+	var rows []Row
+	for _, eps := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		w, err := h.buildWorkload(workloadParams{
+			dataset: gen.LKI, size: 4, rangeVars: 1, edgeVars: 2,
+			numGroups: 2, totalC: h.opts.totalC(), tightness: 0.7, eps: eps,
+			maxDomain: 10 * h.opts.maxDomain(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		r, err := h.efficiencyRows("fig10b", fmt.Sprintf("eps=%.1f", eps), w)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// Fig10c reproduces Fig. 10(c): runtime on DBP while |X_L| varies
+// (Fig. 9(c) setting).
+func (h *Harness) Fig10c() ([]Row, error) {
+	var rows []Row
+	for _, xl := range []int{2, 3, 4, 5} {
+		w, err := h.buildWorkload(workloadParams{
+			dataset: gen.DBP, size: 4, rangeVars: xl, edgeVars: 1,
+			numGroups: 2, totalC: h.opts.totalC(), tightness: 0.7, eps: 0.01,
+			maxDomain: domainForRangeVars(xl, h.opts.maxDomain()),
+		})
+		if err != nil {
+			return nil, err
+		}
+		r, err := h.efficiencyRows("fig10c", fmt.Sprintf("|X_L|=%d", xl), w)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// Fig10d reproduces Fig. 10(d): runtime on LKI while |X_E| varies
+// (Fig. 9(d) setting).
+func (h *Harness) Fig10d() ([]Row, error) {
+	var rows []Row
+	for _, xe := range []int{2, 3, 4, 5} {
+		w, err := h.buildWorkload(workloadParams{
+			dataset: gen.LKI, size: 5, rangeVars: 1, edgeVars: xe,
+			numGroups: 2, totalC: h.opts.totalC(), tightness: 0.7, eps: 0.01,
+			maxDomain: 4 * h.opts.maxDomain(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		r, err := h.efficiencyRows("fig10d", fmt.Sprintf("|X_E|=%d", xe), w)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}

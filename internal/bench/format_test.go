@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatCSV(t *testing.T) {
+	rows := []Row{
+		{Exp: "fig9a", Series: "RfQGen", X: "dbp", Value: 0.5,
+			Extra: map[string]float64{"sec": 1.25, "verified": 10}},
+		{Exp: "fig9a", Series: "with,comma", X: `with"quote`, Value: 1},
+	}
+	out := FormatCSV(rows)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "experiment,series,x,value,extra" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "sec=1.25;verified=10") {
+		t.Errorf("extras not flattened: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `"with,comma"`) || !strings.Contains(lines[2], `"with""quote"`) {
+		t.Errorf("escaping wrong: %q", lines[2])
+	}
+}
+
+func TestDomainForRangeVars(t *testing.T) {
+	base := 6
+	prev := 1 << 30
+	for xl := 1; xl <= 6; xl++ {
+		md := domainForRangeVars(xl, base)
+		if md < 2 {
+			t.Errorf("xl=%d: md=%d below floor", xl, md)
+		}
+		if md > prev {
+			t.Errorf("xl=%d: md grew with more variables", xl)
+		}
+		prev = md
+		// The induced space stays within an order of magnitude of the
+		// target regime.
+		space := 1
+		for i := 0; i < xl; i++ {
+			space *= md + 1
+		}
+		if space > 12000 {
+			t.Errorf("xl=%d: space %d too large", xl, space)
+		}
+	}
+}

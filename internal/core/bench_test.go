@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+)
+
+func benchConfig(b *testing.B) *Config {
+	g := fixtureGraph(b, 1)
+	return fixtureConfig(b, g, 0.1, 3)
+}
+
+func BenchmarkEnumQGen(b *testing.B) {
+	cfg := benchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewRunner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.EnumQGen(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRfQGen(b *testing.B) {
+	cfg := benchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewRunner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.RfQGen(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBiQGen(b *testing.B) {
+	cfg := benchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewRunner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.BiQGen(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOnlineQGen(b *testing.B) {
+	cfg := benchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewRunner(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream := NewRandomStream(cfg.Template, 64, 9)
+		if _, err := r.OnlineQGen(stream, OnlineOptions{K: 5, Window: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

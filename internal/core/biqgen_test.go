@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
+	"fairsqg/internal/pareto"
+	"fairsqg/internal/query"
+)
+
+// chainTemplate builds a single-variable template whose lattice is a pure
+// chain — the adversarial case for sandwich pruning (a pruned middle must
+// not disconnect the exploration).
+func chainTemplate(t *testing.T, ladder int) (*Config, *graph.Graph) {
+	t.Helper()
+	g := graph.New()
+	// Directors recommended by people with varying experience; experience
+	// thresholds form the chain.
+	for i := 0; i < 8; i++ {
+		gender := "male"
+		if i%2 == 0 {
+			gender = "female"
+		}
+		g.AddNode("Person", map[string]graph.Value{
+			"title":  graph.Str("Director"),
+			"gender": graph.Str(gender),
+		})
+	}
+	for i := 0; i < ladder; i++ {
+		p := g.AddNode("Person", map[string]graph.Value{
+			"yearsOfExp": graph.Int(int64(i + 1)),
+			"gender":     graph.Str("male"),
+		})
+		// Recommender with experience i+1 recommends directors 0..7-i: the
+		// chain loses one director per refinement step.
+		for d := 0; d < 8-i; d++ {
+			if err := g.AddEdge(p, graph.NodeID(d), "recommend"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g.Freeze()
+	tpl, err := query.NewBuilder("chain").
+		Node("u_o", "Person").Literal("u_o", "title", graph.OpEQ, graph.Str("Director")).
+		Node("u1", "Person").RangeVar("x", "u1", "yearsOfExp", graph.OpGE).
+		Edge("u1", "u_o", "recommend").
+		Output("u_o").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.BindDomains(g, query.DomainOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	set := groups.EqualOpportunity(groups.ByAttribute(g, "Person", "gender"), 1)
+	return &Config{G: g, Template: tpl, Groups: set, Eps: 0.5}, g
+}
+
+func TestBiQGenChainLattice(t *testing.T) {
+	cfg, _ := chainTemplate(t, 6)
+	ref, err := newRunnerT(t, cfg).AllFeasible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPoints := make([]pareto.Point, len(ref))
+	for i, v := range ref {
+		refPoints[i] = v.Point
+	}
+	res, err := newRunnerT(t, cfg).BiQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em := pareto.MinEps(res.Points(), refPoints); em > cfg.Eps+1e-9 {
+		t.Errorf("chain lattice: ε_m = %v > ε = %v", em, cfg.Eps)
+	}
+}
+
+func TestSBounds(t *testing.T) {
+	cfg, _ := chainTemplate(t, 6)
+	tpl := cfg.Template
+	b := &sBounds{t: tpl}
+	lo := query.Instantiation{0}
+	hi := query.Instantiation{4}
+	if !b.add(lo, hi) {
+		t.Fatal("first pair rejected")
+	}
+	// Strictly inside: pruned; endpoints: not pruned.
+	if !b.prunes(query.Instantiation{2}) {
+		t.Error("middle not pruned")
+	}
+	if b.prunes(lo) || b.prunes(hi) {
+		t.Error("endpoints pruned")
+	}
+	if b.prunes(query.Instantiation{5}) {
+		t.Error("outside pruned")
+	}
+	// A covered pair is not recorded.
+	if b.add(query.Instantiation{1}, query.Instantiation{3}) {
+		t.Error("covered pair recorded")
+	}
+	// A wider pair replaces the existing one.
+	if !b.add(query.Instantiation{query.Wildcard}, query.Instantiation{5}) {
+		t.Fatal("wider pair rejected")
+	}
+	if len(b.pairs) != 1 {
+		t.Errorf("pairs = %d, want 1 after widening", len(b.pairs))
+	}
+	if !b.prunes(query.Instantiation{4}) {
+		t.Error("widened band does not prune")
+	}
+}
+
+// TestBiQGenSandwichAblation: disabling sandwich pruning must not change
+// the quality of the result (only the cost).
+func TestBiQGenSandwichAblation(t *testing.T) {
+	g := fixtureGraph(t, 12)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	base, err := newRunnerT(t, cfg).BiQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := fixtureConfig(t, g, 0.3, 3)
+	cfg2.DisableSandwich = true
+	noSand, err := newRunnerT(t, cfg2).BiQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := newRunnerT(t, cfg).AllFeasible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPoints := make([]pareto.Point, len(ref))
+	for i, v := range ref {
+		refPoints[i] = v.Point
+	}
+	for name, res := range map[string]*Result{"sandwich": base, "no-sandwich": noSand} {
+		if em := pareto.MinEps(res.Points(), refPoints); em > cfg.Eps+1e-9 {
+			t.Errorf("%s: ε_m = %v", name, em)
+		}
+	}
+	if noSand.Stats.Verified < base.Stats.Verified {
+		t.Errorf("sandwich pruning increased verifications: %d vs %d",
+			base.Stats.Verified, noSand.Stats.Verified)
+	}
+}
+
+// TestBoundPruneAblation: the cheap infeasibility check must not change
+// feasibility decisions.
+func TestBoundPruneAblation(t *testing.T) {
+	g := fixtureGraph(t, 13)
+	cfg := fixtureConfig(t, g, 0.3, 6)
+	withBound, err := newRunnerT(t, cfg).AllFeasible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := fixtureConfig(t, g, 0.3, 6)
+	cfg2.DisableBoundPrune = true
+	without, err := newRunnerT(t, cfg2).AllFeasible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withBound) != len(without) {
+		t.Fatalf("bound prune changed feasibility: %d vs %d feasible", len(withBound), len(without))
+	}
+	for i := range withBound {
+		if withBound[i].Q.Key() != without[i].Q.Key() {
+			t.Fatalf("feasible instance %d differs", i)
+		}
+		if withBound[i].Point != without[i].Point {
+			t.Fatalf("instance %d points differ", i)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestOnlineCheckpoints: checkpoints fire at the requested cadence plus a
+// final one, sizes respect k, and ε is non-decreasing across checkpoints.
+func TestOnlineCheckpoints(t *testing.T) {
+	g := fixtureGraph(t, 70)
+	cfg := fixtureConfig(t, g, 0.05, 3)
+	r := newRunnerT(t, cfg)
+	var cps []OnlineCheckpoint
+	stream := NewRandomStream(cfg.Template, 50, 3)
+	res, err := r.OnlineQGen(stream, OnlineOptions{
+		K: 4, Window: 8, CheckpointEvery: 10,
+		OnCheckpoint: func(cp OnlineCheckpoint) { cps = append(cps, cp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 instances / 10 = 5 checkpoints, all on multiples of 10; no extra
+	// final one since 50 % 10 == 0.
+	if len(cps) != 5 {
+		t.Fatalf("checkpoints = %d", len(cps))
+	}
+	prevEps := 0.0
+	for i, cp := range cps {
+		if cp.Processed != (i+1)*10 {
+			t.Errorf("checkpoint %d at %d", i, cp.Processed)
+		}
+		if len(cp.Points) > 4 {
+			t.Errorf("checkpoint %d holds %d > k points", i, len(cp.Points))
+		}
+		if cp.Eps < prevEps {
+			t.Errorf("ε decreased at checkpoint %d", i)
+		}
+		prevEps = cp.Eps
+	}
+	if res.Processed != 50 {
+		t.Errorf("processed = %d", res.Processed)
+	}
+	// A stream not divisible by the cadence gets a final checkpoint.
+	cps = nil
+	r2 := newRunnerT(t, cfg)
+	_, err = r2.OnlineQGen(NewRandomStream(cfg.Template, 25, 4), OnlineOptions{
+		K: 4, Window: 8, CheckpointEvery: 10,
+		OnCheckpoint: func(cp OnlineCheckpoint) { cps = append(cps, cp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 3 || cps[len(cps)-1].Processed != 25 {
+		t.Fatalf("trailing checkpoint missing: %+v", cps)
+	}
+}
+
+// TestOnlineDelayAccounting: one delay sample per processed instance, all
+// non-negative.
+func TestOnlineDelayAccounting(t *testing.T) {
+	g := fixtureGraph(t, 71)
+	cfg := fixtureConfig(t, g, 0.1, 3)
+	r := newRunnerT(t, cfg)
+	res, err := r.OnlineQGen(NewRandomStream(cfg.Template, 30, 5), OnlineOptions{K: 3, Window: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delays) != 30 || len(res.EpsHistory) != 30 {
+		t.Fatalf("delays %d, history %d", len(res.Delays), len(res.EpsHistory))
+	}
+	for _, d := range res.Delays {
+		if d < 0 {
+			t.Fatal("negative delay")
+		}
+	}
+}

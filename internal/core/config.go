@@ -1,0 +1,190 @@
+// Package core implements the FairSQG query-generation algorithms: the
+// naive EnumQGen, the exact-Pareto Kungs baseline, the refinement-driven
+// RfQGen, the bidirectional BiQGen with sandwich pruning, the fixed-size
+// OnlineQGen, and the ε-constraint CBM baseline. All operate on one shared
+// configuration C = (G, Q(u_o), P, ε).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
+	"fairsqg/internal/match"
+	"fairsqg/internal/measure"
+	"fairsqg/internal/pareto"
+	"fairsqg/internal/query"
+)
+
+// Config is the query-generation configuration C = (G, Q(u_o), P, ε)
+// together with the evaluation knobs shared by all algorithms.
+type Config struct {
+	G        *graph.Graph
+	Template *query.Template
+	Groups   groups.Set
+	// Eps is the ε-dominance tolerance (> 0).
+	Eps float64
+
+	// Mode selects matching semantics (default Isomorphism).
+	Mode match.Mode
+	// ExtraOutputs names additional template nodes whose match sets join
+	// the answer (the paper's multiple-output-nodes extension): the
+	// diversity and coverage objectives are computed over the union of
+	// q(u_o, G) and q(u, G) for each named node. Each named node must be
+	// connected to the output node through fixed edges (Template
+	// AlwaysActive) so the union stays refinement-monotone and the
+	// pruning lemmas keep holding. The candidate-bound infeasibility
+	// check is disabled in this mode.
+	ExtraOutputs []string
+	// Lambda balances relevance against dissimilarity in δ (default 0.5).
+	Lambda float64
+	// Relevance overrides the default degree-based relevance r(u_o, ·).
+	Relevance measure.RelevanceFunc
+	// Distance overrides the default tuple edit distance d(·,·).
+	Distance measure.DistanceFunc
+	// DistanceAttrs restricts the default tuple distance to these
+	// attributes (nil means all attributes of G).
+	DistanceAttrs []string
+	// MaxPairs caps pairwise distance evaluations per instance (default
+	// 200000; 0 means exact).
+	MaxPairs int
+	// MaxBacktrackNodes bounds matcher search per candidate (0 unbounded).
+	MaxBacktrackNodes int
+	// TemplateRefinement enables the Spawn optimization that restricts
+	// variable ladders to the d-hop neighborhood of the current matches.
+	// Enabled by default through NewRunner; set DisableTemplateRefinement
+	// to turn it off for ablations.
+	DisableTemplateRefinement bool
+	// DisableIncremental forces from-scratch verification even when a
+	// verified parent's match set is available (ablation).
+	DisableIncremental bool
+	// DisableSandwich turns off BiQGen's sandwich pruning (ablation).
+	DisableSandwich bool
+	// DisableBoundPrune turns off the cheap infeasibility check that
+	// rejects an instance when the per-group counts of its arc-consistent
+	// candidate superset already violate a constraint (ablation).
+	DisableBoundPrune bool
+
+	// OnVerified, when set, is invoked after every instance verification —
+	// the hook behind the anytime-quality experiments (Fig. 9(e), 11(b)).
+	OnVerified func(ev VerifyEvent)
+}
+
+// VerifyEvent describes one instance verification.
+type VerifyEvent struct {
+	// Seq is the 1-based verification sequence number.
+	Seq int
+	// Instance is the verified instance.
+	Instance *query.Instance
+	// Point holds (δ, f); valid only when Feasible.
+	Point pareto.Point
+	// Feasible reports whether the instance meets all coverage constraints.
+	Feasible bool
+	// Matches is |q(G)|.
+	Matches int
+}
+
+// Validate checks the configuration; algorithms call it on entry.
+func (c *Config) Validate() error {
+	if c.G == nil || !c.G.Frozen() {
+		return fmt.Errorf("core: config needs a frozen graph")
+	}
+	if c.Template == nil {
+		return fmt.Errorf("core: config needs a template")
+	}
+	if err := c.Template.Validate(); err != nil {
+		return err
+	}
+	for i := range c.Template.Vars {
+		v := &c.Template.Vars[i]
+		if v.Kind == query.RangeVar && len(v.Ladder) == 0 {
+			return fmt.Errorf("core: range variable %q has no value ladder; call Template.BindDomains", v.Name)
+		}
+	}
+	if len(c.Groups) == 0 {
+		return fmt.Errorf("core: config needs at least one group")
+	}
+	if err := c.Groups.Validate(); err != nil {
+		return err
+	}
+	if c.Eps <= 0 {
+		return fmt.Errorf("core: eps must be positive, got %g", c.Eps)
+	}
+	if c.Lambda < 0 || c.Lambda > 1 {
+		return fmt.Errorf("core: lambda must be in [0,1], got %g", c.Lambda)
+	}
+	if len(c.ExtraOutputs) > 0 {
+		alwaysActive := map[int]bool{}
+		for _, ni := range c.Template.AlwaysActive() {
+			alwaysActive[ni] = true
+		}
+		for _, name := range c.ExtraOutputs {
+			ni := c.Template.Node(name)
+			if ni < 0 {
+				return fmt.Errorf("core: extra output %q is not a template node", name)
+			}
+			if ni == c.Template.Output {
+				return fmt.Errorf("core: extra output %q is already the output node", name)
+			}
+			if !alwaysActive[ni] {
+				return fmt.Errorf("core: extra output %q must be connected to the output node via fixed edges; "+
+					"a node behind an edge variable can activate mid-refinement, which breaks the union's monotonicity", name)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the work an algorithm performed.
+type Stats struct {
+	// Spawned counts instances generated (lattice nodes touched).
+	Spawned int
+	// Verified counts instances actually evaluated against G.
+	Verified int
+	// Feasible counts verified instances meeting all constraints.
+	Feasible int
+	// Pruned counts instances skipped without verification (infeasibility
+	// backtracking, sandwich pruning, template-refinement caps).
+	Pruned int
+	// SandwichPairs counts sandwich bounds recorded (BiQGen only).
+	SandwichPairs int
+	// Matcher carries the matcher's counters.
+	Matcher match.Stats
+}
+
+// Verified is an evaluated instance: its answer and quality coordinates.
+type Verified struct {
+	Q *query.Instance
+	// Matches is the answer: q(u_o, G), or in multi-output mode the union
+	// of the per-node match sets.
+	Matches  []graph.NodeID
+	Point    pareto.Point
+	Feasible bool
+	// PerNode holds each output node's match set in multi-output mode
+	// (keyed by template node index); nil otherwise.
+	PerNode map[int][]graph.NodeID
+}
+
+// Result is the outcome of a generation run.
+type Result struct {
+	// Set is the computed ε-Pareto instance set (or exact Pareto set for
+	// Kungs), ordered by decreasing diversity.
+	Set []*Verified
+	// Eps is the tolerance the set satisfies; for OnlineQGen this is the
+	// final, possibly enlarged ε.
+	Eps float64
+	// Stats aggregates the run's work counters.
+	Stats Stats
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Points extracts the quality coordinates of the result set.
+func (r *Result) Points() []pareto.Point {
+	ps := make([]pareto.Point, len(r.Set))
+	for i, v := range r.Set {
+		ps[i] = v.Point
+	}
+	return ps
+}

@@ -1,0 +1,482 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
+	"fairsqg/internal/measure"
+	"fairsqg/internal/pareto"
+	"fairsqg/internal/query"
+)
+
+// fixtureGraph builds a seeded professional network small enough for
+// exhaustive enumeration in tests: ~300 persons with gender/experience
+// attributes, 15 orgs, recommend/worksAt edges.
+func fixtureGraph(t testing.TB, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	numPersons, numOrgs := 300, 15
+	persons := make([]graph.NodeID, numPersons)
+	titles := []string{"Director", "Engineer", "Manager", "Analyst"}
+	majors := []string{"cs", "math", "bio", "econ", "art", "law"}
+	for i := range persons {
+		gender := "male"
+		if rng.Float64() < 0.4 {
+			gender = "female"
+		}
+		title := titles[rng.Intn(len(titles))]
+		if i%4 == 0 {
+			title = "Director" // keep the output label populated
+		}
+		persons[i] = g.AddNode("Person", map[string]graph.Value{
+			"gender":     graph.Str(gender),
+			"title":      graph.Str(title),
+			"major":      graph.Str(majors[rng.Intn(len(majors))]),
+			"yearsOfExp": graph.Int(int64(rng.Intn(20))),
+		})
+	}
+	orgs := make([]graph.NodeID, numOrgs)
+	for i := range orgs {
+		orgs[i] = g.AddNode("Org", map[string]graph.Value{
+			"employees": graph.Int(int64(10 + rng.Intn(5000))),
+		})
+	}
+	for _, p := range persons {
+		if err := g.AddEdge(p, orgs[rng.Intn(numOrgs)], "worksAt"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < numPersons*5; i++ {
+		from := persons[rng.Intn(numPersons)]
+		to := persons[rng.Intn(numPersons)]
+		if from != to {
+			if err := g.AddEdge(from, to, "recommend"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+// fixtureConfig builds the canonical test configuration: talent template
+// with 2 range variables and 1 edge variable, gender groups with equal
+// opportunity constraints.
+func fixtureConfig(t testing.TB, g *graph.Graph, eps float64, want int) *Config {
+	t.Helper()
+	tpl, err := query.NewBuilder("talent").
+		Node("u_o", "Person").Literal("u_o", "title", graph.OpEQ, graph.Str("Director")).
+		Node("u1", "Person").RangeVar("x1", "u1", "yearsOfExp", graph.OpGE).
+		Node("o", "Org").RangeVar("x2", "o", "employees", graph.OpGE).
+		VarEdge("e1", "u1", "u_o", "recommend").
+		Edge("u1", "o", "worksAt").
+		Output("u_o").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.BindDomains(g, query.DomainOptions{MaxValues: 5}); err != nil {
+		t.Fatal(err)
+	}
+	set := groups.EqualOpportunity(groups.ByAttribute(g, "Person", "gender"), want)
+	return &Config{G: g, Template: tpl, Groups: set, Eps: eps}
+}
+
+func TestConfigValidate(t *testing.T) {
+	g := fixtureGraph(t, 1)
+	good := fixtureConfig(t, g, 0.3, 3)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := *good
+	bad.Eps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	bad = *good
+	bad.Groups = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no groups accepted")
+	}
+	bad = *good
+	bad.Lambda = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("lambda=2 accepted")
+	}
+	bad = *good
+	bad.G = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil graph accepted")
+	}
+	// Unbound ladders are rejected.
+	tpl2, err := query.NewBuilder("t").
+		Node("a", "Person").RangeVar("x", "a", "yearsOfExp", graph.OpGE).
+		Output("a").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad = *good
+	bad.Template = tpl2
+	if err := bad.Validate(); err == nil {
+		t.Error("unbound ladder accepted")
+	}
+}
+
+func TestEnumerateInstantiations(t *testing.T) {
+	g := fixtureGraph(t, 1)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	count := 0
+	seen := map[string]bool{}
+	EnumerateInstantiations(cfg.Template, func(in query.Instantiation) bool {
+		count++
+		seen[in.Key()] = true
+		return true
+	})
+	want := cfg.Template.InstanceSpaceSize() // (5+1)*(5+1)*2 = 72
+	if count != want || len(seen) != want {
+		t.Errorf("enumerated %d (%d unique), want %d", count, len(seen), want)
+	}
+	// Early stop.
+	count = 0
+	EnumerateInstantiations(cfg.Template, func(query.Instantiation) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop at %d", count)
+	}
+}
+
+// newRunnerT builds a runner or fails the test.
+func newRunnerT(t testing.TB, cfg *Config) *Runner {
+	t.Helper()
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestAlgorithmsProduceValidEpsParetoSets is the central cross-check: for
+// several seeds, EnumQGen, RfQGen and BiQGen must all return sets that
+// ε-dominate every feasible instance of I(Q), and Kungs must return the
+// exact Pareto front.
+func TestAlgorithmsProduceValidEpsParetoSets(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := fixtureGraph(t, seed)
+		cfg := fixtureConfig(t, g, 0.3, 3)
+		ref, err := newRunnerT(t, cfg).AllFeasible()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref) == 0 {
+			t.Fatalf("seed %d: fixture has no feasible instances", seed)
+		}
+		refPoints := make([]pareto.Point, len(ref))
+		for i, v := range ref {
+			refPoints[i] = v.Point
+		}
+
+		runs := []struct {
+			name string
+			run  func(*Runner) (*Result, error)
+		}{
+			{"EnumQGen", (*Runner).EnumQGen},
+			{"RfQGen", (*Runner).RfQGen},
+			{"BiQGen", (*Runner).BiQGen},
+		}
+		for _, alg := range runs {
+			res, err := alg.run(newRunnerT(t, cfg))
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, alg.name, err)
+			}
+			if len(res.Set) == 0 {
+				t.Fatalf("seed %d %s: empty result", seed, alg.name)
+			}
+			em := pareto.MinEps(res.Points(), refPoints)
+			if em > cfg.Eps+1e-9 {
+				t.Errorf("seed %d %s: ε_m = %v exceeds ε = %v", seed, alg.name, em, cfg.Eps)
+			}
+			// Every returned instance must be feasible and mutually
+			// non-dominated.
+			for i, v := range res.Set {
+				if !v.Feasible {
+					t.Errorf("seed %d %s: infeasible instance in result", seed, alg.name)
+				}
+				for j, w := range res.Set {
+					if i != j && pareto.Dominates(w.Point, v.Point) {
+						t.Errorf("seed %d %s: result contains dominated instance", seed, alg.name)
+					}
+				}
+			}
+		}
+
+		// Kungs: exact Pareto front of the feasible instances.
+		kres, err := newRunnerT(t, cfg).Kungs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := pareto.NaiveParetoSet(refPoints)
+		if len(kres.Set) != len(naive) {
+			t.Errorf("seed %d Kungs: |front| = %d, want %d", seed, len(kres.Set), len(naive))
+		}
+		if em := pareto.MinEps(kres.Points(), refPoints); em > 1e-9 {
+			t.Errorf("seed %d Kungs: ε_m = %v, want 0", seed, em)
+		}
+	}
+}
+
+// TestPruningSavesVerifications: the guided algorithms must verify no more
+// instances than the enumerator, and the pruned counters must be populated.
+func TestPruningSavesVerifications(t *testing.T) {
+	g := fixtureGraph(t, 4)
+	cfg := fixtureConfig(t, g, 0.3, 6)
+	enum, err := newRunnerT(t, cfg).EnumQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := newRunnerT(t, cfg).RfQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := newRunnerT(t, cfg).BiQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Stats.Verified > enum.Stats.Verified {
+		t.Errorf("RfQGen verified %d > EnumQGen %d", rf.Stats.Verified, enum.Stats.Verified)
+	}
+	if bi.Stats.Verified > enum.Stats.Verified {
+		t.Errorf("BiQGen verified %d > EnumQGen %d", bi.Stats.Verified, enum.Stats.Verified)
+	}
+	if rf.Stats.Feasible == 0 || bi.Stats.Feasible == 0 {
+		t.Error("feasible counters empty")
+	}
+}
+
+// TestIncrementalAblation: disabling incremental verification must not
+// change RfQGen's result set.
+func TestIncrementalAblation(t *testing.T) {
+	g := fixtureGraph(t, 5)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	base, err := newRunnerT(t, cfg).RfQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := fixtureConfig(t, g, 0.3, 3)
+	cfg2.DisableIncremental = true
+	noInc, err := newRunnerT(t, cfg2).RfQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePointSets(base.Points(), noInc.Points()) {
+		t.Errorf("incremental changed results:\n%v\nvs\n%v", base.Points(), noInc.Points())
+	}
+}
+
+// TestTemplateRefinementAblation: disabling the Spawn restriction must not
+// shrink the quality of the ε-Pareto set.
+func TestTemplateRefinementAblation(t *testing.T) {
+	g := fixtureGraph(t, 6)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	ref, err := newRunnerT(t, cfg).AllFeasible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPoints := make([]pareto.Point, len(ref))
+	for i, v := range ref {
+		refPoints[i] = v.Point
+	}
+	for _, disable := range []bool{false, true} {
+		c := fixtureConfig(t, g, 0.3, 3)
+		c.DisableTemplateRefinement = disable
+		res, err := newRunnerT(t, c).RfQGen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if em := pareto.MinEps(res.Points(), refPoints); em > c.Eps+1e-9 {
+			t.Errorf("refinement=%v: ε_m = %v", !disable, em)
+		}
+	}
+}
+
+// TestVerifyEventHook checks the anytime-trace hook fires once per
+// verification with increasing sequence numbers.
+func TestVerifyEventHook(t *testing.T) {
+	g := fixtureGraph(t, 7)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	var events []VerifyEvent
+	cfg.OnVerified = func(ev VerifyEvent) { events = append(events, ev) }
+	res, err := newRunnerT(t, cfg).RfQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != res.Stats.Verified {
+		t.Errorf("hook fired %d times, verified %d", len(events), res.Stats.Verified)
+	}
+	for i, ev := range events {
+		if ev.Seq != i+1 {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.Instance == nil {
+			t.Error("event without instance")
+		}
+	}
+}
+
+// TestCoverageMonotonicity verifies Lemma 2 (2) empirically: along every
+// verified refinement edge, diversity does not increase and, between
+// feasible endpoints, coverage does not decrease.
+func TestCoverageMonotonicity(t *testing.T) {
+	g := fixtureGraph(t, 8)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	r := newRunnerT(t, cfg)
+	all, err := r.AllFeasible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]*Verified{}
+	for _, v := range all {
+		byKey[v.Q.Key()] = v
+	}
+	for _, v := range all {
+		for _, childIn := range query.RefineSteps(cfg.Template, v.Q.I) {
+			c, ok := byKey[childIn.Key()]
+			if !ok {
+				continue // infeasible child
+			}
+			if c.Point.Div > v.Point.Div+1e-9 {
+				t.Errorf("diversity grew on refinement: %v -> %v", v.Point.Div, c.Point.Div)
+			}
+			if c.Point.Cov < v.Point.Cov-1e-9 {
+				t.Errorf("coverage shrank between feasible instances: %v -> %v", v.Point.Cov, c.Point.Cov)
+			}
+		}
+	}
+}
+
+func TestCBM(t *testing.T) {
+	g := fixtureGraph(t, 9)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	res, err := newRunnerT(t, cfg).CBM(CBMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) == 0 {
+		t.Fatal("CBM returned nothing")
+	}
+	// Anchors must include the max-diversity and max-coverage instances.
+	ref, err := newRunnerT(t, cfg).AllFeasible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxDiv, maxCov float64
+	for _, v := range ref {
+		if v.Point.Div > maxDiv {
+			maxDiv = v.Point.Div
+		}
+		if v.Point.Cov > maxCov {
+			maxCov = v.Point.Cov
+		}
+	}
+	var gotDiv, gotCov float64
+	for _, v := range res.Set {
+		if v.Point.Div > gotDiv {
+			gotDiv = v.Point.Div
+		}
+		if v.Point.Cov > gotCov {
+			gotCov = v.Point.Cov
+		}
+	}
+	if gotDiv < maxDiv-1e-9 || gotCov < maxCov-1e-9 {
+		t.Errorf("CBM anchors miss extremes: div %v/%v cov %v/%v", gotDiv, maxDiv, gotCov, maxCov)
+	}
+	// MaxAnchors bounds the result.
+	res2, err := newRunnerT(t, cfg).CBM(CBMOptions{MaxAnchors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Set) > 2 {
+		t.Errorf("MaxAnchors=2 returned %d", len(res2.Set))
+	}
+}
+
+// TestEmptyFeasibleSpace: unsatisfiable coverage constraints produce empty
+// results without error.
+func TestEmptyFeasibleSpace(t *testing.T) {
+	g := fixtureGraph(t, 10)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	// Demand more female directors than exist anywhere.
+	for i := range cfg.Groups {
+		cfg.Groups[i].Want = len(cfg.Groups[i].Members)
+	}
+	for _, alg := range []func(*Runner) (*Result, error){
+		(*Runner).EnumQGen, (*Runner).RfQGen, (*Runner).BiQGen, (*Runner).Kungs,
+	} {
+		res, err := alg(newRunnerT(t, cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Set) != 0 {
+			t.Errorf("expected empty set, got %d", len(res.Set))
+		}
+	}
+}
+
+func samePointSets(a, b []pareto.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+	for _, p := range a {
+		found := false
+		for j, q := range b {
+			if !used[j] && p == q {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMeasureIntegration sanity-checks the runner's measure wiring: the
+// root instance of a selective template has the largest diversity.
+func TestMeasureIntegration(t *testing.T) {
+	g := fixtureGraph(t, 11)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	r := newRunnerT(t, cfg)
+	all, err := r.AllFeasible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootKey := query.Root(cfg.Template).Key()
+	var root *Verified
+	maxDiv := 0.0
+	for _, v := range all {
+		if v.Q.Key() == rootKey {
+			root = v
+		}
+		if v.Point.Div > maxDiv {
+			maxDiv = v.Point.Div
+		}
+	}
+	if root == nil {
+		t.Fatal("root not feasible in this fixture")
+	}
+	if root.Point.Div < maxDiv-1e-9 {
+		t.Errorf("root diversity %v below max %v", root.Point.Div, maxDiv)
+	}
+	if root.Point.Div > r.DivMax() {
+		t.Errorf("diversity %v exceeds bound %v", root.Point.Div, r.DivMax())
+	}
+	if r.CovMax() != measure.CoverageMax(cfg.Groups) {
+		t.Error("CovMax mismatch")
+	}
+}

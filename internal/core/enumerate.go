@@ -1,0 +1,134 @@
+package core
+
+import (
+	"time"
+
+	"fairsqg/internal/pareto"
+	"fairsqg/internal/query"
+)
+
+// EnumerateInstantiations walks the full instance space I(Q) — the
+// cartesian product of every variable's binding options (wildcard plus each
+// ladder value for range variables; absent/present for edge variables) —
+// invoking yield for each. Enumeration stops early when yield returns
+// false. The instantiation passed to yield is reused; clone it to retain.
+func EnumerateInstantiations(t *query.Template, yield func(query.Instantiation) bool) {
+	options := make([][]int, len(t.Vars))
+	for vi := range t.Vars {
+		v := &t.Vars[vi]
+		switch v.Kind {
+		case query.EdgeVar:
+			options[vi] = []int{0, 1}
+		case query.RangeVar:
+			opts := make([]int, 0, len(v.Ladder)+1)
+			opts = append(opts, query.Wildcard)
+			for l := range v.Ladder {
+				opts = append(opts, l)
+			}
+			options[vi] = opts
+		}
+	}
+	in := make(query.Instantiation, len(t.Vars))
+	var rec func(vi int) bool
+	rec = func(vi int) bool {
+		if vi == len(t.Vars) {
+			return yield(in)
+		}
+		for _, o := range options[vi] {
+			in[vi] = o
+			if !rec(vi + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// EnumQGen is the naive baseline of Theorem 1: it enumerates up to
+// 2^|X_E| · |adom_m|^|X_L| instances, verifies every one, and applies the
+// Update procedure (the nested-loop ε-Pareto computation) over the feasible
+// ones.
+func (r *Runner) EnumQGen() (*Result, error) {
+	r.resetStats()
+	start := time.Now()
+	archive := pareto.NewArchive[*Verified](r.cfg.Eps)
+	EnumerateInstantiations(r.cfg.Template, func(in query.Instantiation) bool {
+		r.stats.Spawned++
+		q := query.MustInstance(r.cfg.Template, in)
+		if r.verifiedKey(q.Key()) {
+			// Distinct instantiations can project to one instance (an edge
+			// bound present outside u_o's component); count as pruned.
+			r.stats.Pruned++
+			return true
+		}
+		v := r.verify(q, nil)
+		if v.Feasible {
+			archive.Update(v.Point, v)
+		}
+		return true
+	})
+	return &Result{
+		Set:     collectSet(archive),
+		Eps:     r.cfg.Eps,
+		Stats:   r.Stats(),
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// Kungs enumerates and verifies the full instance space and computes the
+// exact Pareto instance set with Kung's algorithm — the quality reference
+// of the paper's evaluation (its I_ε is 1 by construction).
+func (r *Runner) Kungs() (*Result, error) {
+	r.resetStats()
+	start := time.Now()
+	var feasible []*Verified
+	EnumerateInstantiations(r.cfg.Template, func(in query.Instantiation) bool {
+		r.stats.Spawned++
+		q := query.MustInstance(r.cfg.Template, in)
+		if r.verifiedKey(q.Key()) {
+			r.stats.Pruned++
+			return true
+		}
+		v := r.verify(q, nil)
+		if v.Feasible {
+			feasible = append(feasible, v)
+		}
+		return true
+	})
+	points := make([]pareto.Point, len(feasible))
+	for i, v := range feasible {
+		points[i] = v.Point
+	}
+	front := pareto.Kung(points)
+	set := make([]*Verified, 0, len(front))
+	for _, idx := range front {
+		set = append(set, feasible[idx])
+	}
+	return &Result{
+		Set:     set,
+		Eps:     0,
+		Stats:   r.Stats(),
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// AllFeasible enumerates and verifies the full instance space and returns
+// every feasible instance — the reference set I(Q) that indicators are
+// computed against in the experiments.
+func (r *Runner) AllFeasible() ([]*Verified, error) {
+	r.resetStats()
+	var feasible []*Verified
+	EnumerateInstantiations(r.cfg.Template, func(in query.Instantiation) bool {
+		q := query.MustInstance(r.cfg.Template, in)
+		if r.verifiedKey(q.Key()) {
+			return true
+		}
+		v := r.verify(q, nil)
+		if v.Feasible {
+			feasible = append(feasible, v)
+		}
+		return true
+	})
+	return feasible, nil
+}

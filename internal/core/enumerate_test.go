@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
+	"fairsqg/internal/query"
+)
+
+// TestEnumerationDeduplicatesProjections: instantiations that differ only
+// in a range variable on a node outside the output component project to
+// distinct keys but identical effective queries; the enumerator verifies
+// both (keys differ) while algorithms exploring the lattice reach both
+// too. This test pins the bookkeeping: Enum's Spawned equals the space and
+// its verified count never exceeds it.
+func TestEnumerationBookkeeping(t *testing.T) {
+	g := fixtureGraph(t, 60)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	r := newRunnerT(t, cfg)
+	res, err := r.EnumQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := cfg.Template.InstanceSpaceSize()
+	if res.Stats.Spawned != space {
+		t.Errorf("spawned %d, space %d", res.Stats.Spawned, space)
+	}
+	if res.Stats.Verified > space {
+		t.Errorf("verified %d > space %d", res.Stats.Verified, space)
+	}
+	if res.Stats.Verified+res.Stats.Pruned != space {
+		t.Errorf("verified %d + pruned %d != space %d", res.Stats.Verified, res.Stats.Pruned, space)
+	}
+}
+
+// TestKungsSubsetOfFeasible: every Kungs result instance appears among the
+// feasible reference set with identical coordinates.
+func TestKungsSubsetOfFeasible(t *testing.T) {
+	g := fixtureGraph(t, 61)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	ref, err := newRunnerT(t, cfg).AllFeasible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]*Verified{}
+	for _, v := range ref {
+		byKey[v.Q.Key()] = v
+	}
+	res, err := newRunnerT(t, cfg).Kungs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Set {
+		w, ok := byKey[v.Q.Key()]
+		if !ok {
+			t.Fatalf("Kungs returned unknown instance %s", v.Q)
+		}
+		if w.Point != v.Point {
+			t.Fatalf("Kungs point drifted for %s", v.Q)
+		}
+	}
+}
+
+// TestSingleNodeTemplate: a template whose only node is the output — the
+// degenerate but legal case (no edges, one range variable).
+func TestSingleNodeTemplate(t *testing.T) {
+	g := fixtureGraph(t, 62)
+	tpl, err := query.NewBuilder("solo").
+		Node("u_o", "Person").RangeVar("x", "u_o", "yearsOfExp", graph.OpGE).
+		Output("u_o").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.BindDomains(g, query.DomainOptions{MaxValues: 5}); err != nil {
+		t.Fatal(err)
+	}
+	set := groups.EqualOpportunity(groups.ByAttribute(g, "Person", "gender"), 3)
+	cfg := &Config{G: g, Template: tpl, Groups: set, Eps: 0.3}
+	for _, alg := range []func(*Runner) (*Result, error){
+		(*Runner).EnumQGen, (*Runner).RfQGen, (*Runner).BiQGen,
+	} {
+		res, err := alg(newRunnerT(t, cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Set) == 0 {
+			t.Fatal("single-node template produced nothing")
+		}
+	}
+}
+
+// TestStressLargerTemplate: a 4-variable template over a denser fixture;
+// checks the algorithms stay consistent at a few hundred instances.
+func TestStressLargerTemplate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g := fixtureGraph(t, 63)
+	tpl, err := query.NewBuilder("stress").
+		Node("u_o", "Person").Literal("u_o", "title", graph.OpEQ, graph.Str("Director")).
+		Node("u1", "Person").RangeVar("x1", "u1", "yearsOfExp", graph.OpGE).
+		Node("u2", "Person").RangeVar("x2", "u2", "yearsOfExp", graph.OpLE).
+		Node("o", "Org").RangeVar("x3", "o", "employees", graph.OpGE).
+		VarEdge("e1", "u1", "u_o", "recommend").
+		VarEdge("e2", "u2", "u_o", "recommend").
+		Edge("u1", "o", "worksAt").
+		Output("u_o").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.BindDomains(g, query.DomainOptions{MaxValues: 4}); err != nil {
+		t.Fatal(err)
+	}
+	set := groups.EqualOpportunity(groups.ByAttribute(g, "Person", "gender"), 2)
+	cfg := &Config{G: g, Template: tpl, Groups: set, Eps: 0.2, MaxPairs: 2000}
+	enum, err := newRunnerT(t, cfg).EnumQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := newRunnerT(t, cfg).RfQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := newRunnerT(t, cfg).BiQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePointSets(enum.Points(), rf.Points()) || !samePointSets(enum.Points(), bi.Points()) {
+		t.Errorf("algorithms disagree on the stress template:\nenum %v\nrf %v\nbi %v",
+			enum.Points(), rf.Points(), bi.Points())
+	}
+}

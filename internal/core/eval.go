@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sort"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/match"
+	"fairsqg/internal/measure"
+	"fairsqg/internal/pareto"
+	"fairsqg/internal/query"
+)
+
+// Runner owns the shared evaluation state of one generation run: the
+// matcher, the diversity/coverage scorers and the verification cache. All
+// algorithms in this package are methods on Runner so repeated runs over
+// one configuration reuse the cache only when the caller wants it (each
+// algorithm entry point starts a fresh Runner unless invoked on one).
+type Runner struct {
+	cfg     *Config
+	matcher *match.Matcher
+	div     *measure.Diversity
+	cache   map[string]*Verified
+	stats   Stats
+	verSeq  int
+	// extraNodes are the resolved multi-output template node indices.
+	extraNodes []int
+}
+
+// NewRunner validates the configuration and prepares shared state.
+func NewRunner(cfg *Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := match.New(cfg.G)
+	m.Mode = cfg.Mode
+	m.MaxBacktrackNodes = cfg.MaxBacktrackNodes
+	outLabel := cfg.Template.Nodes[cfg.Template.Output].Label
+	var extraNodes []int
+	population := cfg.G.CountLabel(outLabel)
+	seenLabels := map[string]bool{outLabel: true}
+	for _, name := range cfg.ExtraOutputs {
+		ni := cfg.Template.Node(name)
+		extraNodes = append(extraNodes, ni)
+		if l := cfg.Template.Nodes[ni].Label; !seenLabels[l] {
+			seenLabels[l] = true
+			population += cfg.G.CountLabel(l)
+		}
+	}
+	rel := cfg.Relevance
+	if rel == nil {
+		rel = measure.DegreeRelevance(cfg.G, outLabel)
+	}
+	dist := cfg.Distance
+	if dist == nil {
+		dist = measure.TupleDistance(cfg.G, cfg.DistanceAttrs)
+	}
+	maxPairs := cfg.MaxPairs
+	if maxPairs == 0 {
+		maxPairs = 200000
+	}
+	lambda := cfg.Lambda
+	if lambda == 0 {
+		lambda = 0.5
+	}
+	div := &measure.Diversity{
+		Lambda:          lambda,
+		Relevance:       rel,
+		Distance:        dist,
+		LabelPopulation: population,
+		MaxPairs:        maxPairs,
+	}
+	return &Runner{
+		cfg:        cfg,
+		matcher:    m,
+		div:        div,
+		cache:      make(map[string]*Verified),
+		extraNodes: extraNodes,
+	}, nil
+}
+
+// Config returns the runner's configuration.
+func (r *Runner) Config() *Config { return r.cfg }
+
+// DivMax returns the diversity upper bound |V_{u_o}|.
+func (r *Runner) DivMax() float64 { return r.div.MaxValue() }
+
+// CovMax returns the coverage upper bound C = Σ c_i.
+func (r *Runner) CovMax() float64 { return measure.CoverageMax(r.cfg.Groups) }
+
+// Stats returns the counters accumulated so far (matcher stats included).
+func (r *Runner) Stats() Stats {
+	s := r.stats
+	s.Matcher = r.matcher.Stats
+	return s
+}
+
+// resetStats clears counters between algorithm invocations on one Runner.
+func (r *Runner) resetStats() {
+	r.stats = Stats{}
+	r.matcher.Stats = match.Stats{}
+	r.verSeq = 0
+	r.cache = make(map[string]*Verified)
+}
+
+// verify evaluates an instance: q(G), δ(q), f(q) and feasibility. When the
+// instance was already verified the cached record returns without work.
+// parent, when non-nil and enabled, supplies the verified parent's match
+// set for incremental verification (incVerify): since q refines its parent,
+// q(G) is a subset of the parent's matches and only those candidates are
+// re-checked.
+func (r *Runner) verify(q *query.Instance, parent *Verified) *Verified {
+	if v, ok := r.cache[q.Key()]; ok {
+		return v
+	}
+	var v *Verified
+	if len(r.extraNodes) > 0 {
+		v = r.verifyMultiOutput(q, parent)
+	} else {
+		var within []graph.NodeID
+		if parent != nil && !r.cfg.DisableIncremental {
+			within = parent.Matches
+		}
+		// The arc-consistent candidate set of u_o is a superset of q(G), so
+		// its per-group counts upper-bound the coverage counts: when some
+		// group's bound is already below c_i the instance is certainly
+		// infeasible and backtracking is skipped (cheap infeasibility check).
+		var accept func([]graph.NodeID) bool
+		if !r.cfg.DisableBoundPrune {
+			accept = func(cands []graph.NodeID) bool {
+				return measure.Feasible(r.cfg.Groups, cands)
+			}
+		}
+		matches, ok := r.matcher.EvalOutputFiltered(q, within, accept)
+		v = &Verified{Q: q, Matches: matches}
+		v.Feasible = ok && measure.Feasible(r.cfg.Groups, matches)
+	}
+	if v.Feasible {
+		v.Point = pareto.Point{
+			Div: r.div.Eval(v.Matches),
+			Cov: measure.Coverage(r.cfg.Groups, v.Matches),
+		}
+	}
+	r.cache[q.Key()] = v
+	r.stats.Verified++
+	if v.Feasible {
+		r.stats.Feasible++
+	}
+	r.verSeq++
+	if r.cfg.OnVerified != nil {
+		r.cfg.OnVerified(VerifyEvent{
+			Seq:      r.verSeq,
+			Instance: q,
+			Point:    v.Point,
+			Feasible: v.Feasible,
+			Matches:  len(v.Matches),
+		})
+	}
+	return v
+}
+
+// verified reports whether the instance key has been evaluated already.
+func (r *Runner) verifiedKey(key string) bool {
+	_, ok := r.cache[key]
+	return ok
+}
+
+// collectSet extracts the archive's payloads ordered by decreasing
+// diversity (ties by increasing coverage) for stable presentation.
+func collectSet(a *pareto.Archive[*Verified]) []*Verified {
+	set := a.Payloads()
+	sort.Slice(set, func(i, j int) bool {
+		if set[i].Point.Div != set[j].Point.Div {
+			return set[i].Point.Div > set[j].Point.Div
+		}
+		return set[i].Point.Cov < set[j].Point.Cov
+	})
+	return set
+}
+
+// verifyMultiOutput evaluates an instance under the multiple-output-nodes
+// extension: each designated node's match set is computed (incrementally
+// within the parent's per-node set when available — refinement shrinks
+// every node's matches, Lemma 2's argument applies per node), and the
+// objectives are taken over the sorted union. The candidate-bound pruning
+// is not applied: a single node's candidate shortfall cannot prove the
+// union infeasible.
+func (r *Runner) verifyMultiOutput(q *query.Instance, parent *Verified) *Verified {
+	nodes := append([]int{q.T.Output}, r.extraNodes...)
+	v := &Verified{Q: q, PerNode: make(map[int][]graph.NodeID, len(nodes))}
+	unionSet := make(map[graph.NodeID]bool)
+	for _, ni := range nodes {
+		var within []graph.NodeID
+		if parent != nil && !r.cfg.DisableIncremental && parent.PerNode != nil {
+			within = parent.PerNode[ni]
+			if within == nil && q.NodeActive(ni) {
+				// The node was inactive in the parent but is active here:
+				// impossible under refinement of the same edge set shape,
+				// but guard by evaluating from scratch.
+				within = nil
+			}
+		}
+		matches, _ := r.matcher.EvalNodeFiltered(q, ni, within, nil)
+		v.PerNode[ni] = matches
+		for _, m := range matches {
+			unionSet[m] = true
+		}
+	}
+	v.Matches = make([]graph.NodeID, 0, len(unionSet))
+	for m := range unionSet {
+		v.Matches = append(v.Matches, m)
+	}
+	sort.Slice(v.Matches, func(i, j int) bool { return v.Matches[i] < v.Matches[j] })
+	v.Feasible = measure.Feasible(r.cfg.Groups, v.Matches)
+	return v
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"fairsqg/internal/pareto"
+)
+
+// TestParQGenQuality: the parallel generator must produce a valid ε-Pareto
+// set (its representatives may differ from the sequential run's — Update
+// is order-sensitive in which box representative it keeps — but the
+// ε-domination contract must hold).
+func TestParQGenQuality(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		g := fixtureGraph(t, 30)
+		cfg := fixtureConfig(t, g, 0.3, 3)
+		ref, err := newRunnerT(t, cfg).AllFeasible()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refPoints := make([]pareto.Point, len(ref))
+		for i, v := range ref {
+			refPoints[i] = v.Point
+		}
+		res, err := newRunnerT(t, cfg).ParQGen(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Set) == 0 {
+			t.Fatalf("workers=%d: empty result", workers)
+		}
+		if em := pareto.MinEps(res.Points(), refPoints); em > cfg.Eps+1e-9 {
+			t.Errorf("workers=%d: ε_m = %v > ε", workers, em)
+		}
+		for i, v := range res.Set {
+			if !v.Feasible {
+				t.Errorf("workers=%d: infeasible instance", workers)
+			}
+			for j, w := range res.Set {
+				if i != j && pareto.Dominates(w.Point, v.Point) {
+					t.Errorf("workers=%d: dominated instance kept", workers)
+				}
+			}
+		}
+		if res.Stats.Verified == 0 || res.Stats.Feasible == 0 {
+			t.Errorf("workers=%d: stats not aggregated: %+v", workers, res.Stats)
+		}
+	}
+}
+
+// TestParQGenDefaultWorkers: workers <= 0 selects GOMAXPROCS.
+func TestParQGenDefaultWorkers(t *testing.T) {
+	g := fixtureGraph(t, 31)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	res, err := newRunnerT(t, cfg).ParQGen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) == 0 {
+		t.Fatal("empty result")
+	}
+}
+
+func TestPickSplitVariable(t *testing.T) {
+	g := fixtureGraph(t, 32)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	vi := pickSplitVariable(cfg.Template)
+	if vi < 0 {
+		t.Fatal("no split variable found")
+	}
+	// The fixture's range variables have 5-value ladders (6 options),
+	// beating the edge variable's 2.
+	if cfg.Template.Vars[vi].Kind != 0 { // RangeVar
+		t.Errorf("split variable should be a range variable, got %v", cfg.Template.Vars[vi].Name)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"time"
+
+	"fairsqg/internal/pareto"
+	"fairsqg/internal/query"
+)
+
+// RfQGen computes an ε-Pareto instance set with the "refine as always"
+// strategy (Fig. 3): a depth-first exploration of the instance lattice from
+// the most relaxed root q_r. Each visited instance is verified
+// incrementally against its parent's match set; infeasible instances cut
+// their entire refinement subtree (Lemma 2: refinement only shrinks match
+// sets, so no descendant can regain feasibility). Feasible instances pass
+// through the Update archive and spawn their restricted front set.
+func (r *Runner) RfQGen() (*Result, error) {
+	r.resetStats()
+	start := time.Now()
+	archive := pareto.NewArchive[*Verified](r.cfg.Eps)
+	sp := newSpawner(r)
+	visited := make(map[string]bool)
+
+	var explore func(in query.Instantiation, parent *Verified)
+	explore = func(in query.Instantiation, parent *Verified) {
+		q := query.MustInstance(r.cfg.Template, in)
+		if visited[q.Key()] {
+			return
+		}
+		visited[q.Key()] = true
+		r.stats.Spawned++
+		v := r.verify(q, parent)
+		if !v.Feasible {
+			// Backtrack: every refinement of an infeasible instance is
+			// infeasible. Count the immediate children as pruned.
+			r.stats.Pruned += len(query.RefineSteps(r.cfg.Template, in))
+			return
+		}
+		archive.Update(v.Point, v)
+		for _, child := range sp.refine(v) {
+			explore(child, v)
+		}
+	}
+	explore(query.Root(r.cfg.Template), nil)
+
+	return &Result{
+		Set:     collectSet(archive),
+		Eps:     r.cfg.Eps,
+		Stats:   r.Stats(),
+		Elapsed: time.Since(start),
+	}, nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fairsqg/internal/graph"
+	"fairsqg/internal/query"
+)
+
+// maxNeighborhoodSeeds caps the match-set size above which the spawner
+// skips the d-hop neighborhood computation: with that many matches the
+// restriction barely prunes anything (the neighborhood approaches the
+// whole graph) while the BFS would dominate the per-instance cost. Deeply
+// refined instances — where the restriction actually bites — have small
+// match sets and stay under the cap.
+const maxNeighborhoodSeeds = 400
+
+// spawner produces the front set Q_F for a verified instance, implementing
+// the paper's Spawn procedure with the template-refinement optimization:
+// the values a range variable can still take are restricted to those
+// realized in the d-hop neighborhood G_q^d of the current match set, and an
+// edge variable is frozen at absent when its label does not occur around
+// the matches.
+type spawner struct {
+	r        *Runner
+	diameter int
+	// edgeLabelIDs caches the interned label per parameterized edge.
+	edgeLabelIDs map[int]graph.LabelID
+}
+
+func newSpawner(r *Runner) *spawner {
+	s := &spawner{r: r, diameter: r.cfg.Template.Diameter(), edgeLabelIDs: map[int]graph.LabelID{}}
+	if s.diameter == 0 {
+		s.diameter = 1
+	}
+	for vi := range r.cfg.Template.Vars {
+		v := &r.cfg.Template.Vars[vi]
+		if v.Kind == query.EdgeVar {
+			s.edgeLabelIDs[vi] = r.cfg.G.LookupLabel(r.cfg.Template.Edges[v.Edge].Label)
+		}
+	}
+	return s
+}
+
+// refine returns the one-step refinements of v's instantiation, restricted
+// by the template-refinement analysis when enabled and affordable.
+func (s *spawner) refine(v *Verified) []query.Instantiation {
+	t := s.r.cfg.Template
+	if s.r.cfg.DisableTemplateRefinement || len(v.Matches) == 0 || len(v.Matches) > maxNeighborhoodSeeds {
+		return query.RefineSteps(t, v.Q.I)
+	}
+	hood := graph.KHopNeighborhood(s.r.cfg.G, v.Matches, s.diameter)
+	maxLevel, fixedEdges := s.restrictions(v, hood)
+	return query.RefineStepsRestricted(t, v.Q.I, maxLevel, fixedEdges)
+}
+
+// restrictions derives per-variable ladder caps and frozen edge variables
+// from the neighborhood.
+func (s *spawner) restrictions(v *Verified, hood map[graph.NodeID]bool) (map[int]int, map[int]bool) {
+	t := s.r.cfg.Template
+	g := s.r.cfg.G
+	maxLevel := map[int]int{}
+	fixedEdges := map[int]bool{}
+	// Per-label attribute extrema over the neighborhood, computed lazily
+	// per (label, attr) pair.
+	type extrema struct {
+		lo, hi graph.Value
+		any    bool
+	}
+	ext := map[[2]string]extrema{}
+	extremaOf := func(label, attr string) extrema {
+		key := [2]string{label, attr}
+		if e, ok := ext[key]; ok {
+			return e
+		}
+		var e extrema
+		for n := range hood {
+			if g.Label(n) != label {
+				continue
+			}
+			val := g.Attr(n, attr)
+			if val.IsNull() {
+				continue
+			}
+			if !e.any {
+				e = extrema{lo: val, hi: val, any: true}
+				continue
+			}
+			if val.Compare(e.lo) < 0 {
+				e.lo = val
+			}
+			if val.Compare(e.hi) > 0 {
+				e.hi = val
+			}
+		}
+		ext[key] = e
+		return e
+	}
+	labelSeen := map[graph.LabelID]bool{}
+	labelChecked := map[graph.LabelID]bool{}
+	edgeLabelOccurs := func(label graph.LabelID) bool {
+		if label == graph.InvalidLabel {
+			return false
+		}
+		if labelChecked[label] {
+			return labelSeen[label]
+		}
+		labelChecked[label] = true
+		for n := range hood {
+			for _, e := range g.Out(n) {
+				if e.Label == label {
+					labelSeen[label] = true
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for vi := range t.Vars {
+		tv := &t.Vars[vi]
+		switch tv.Kind {
+		case query.EdgeVar:
+			if v.Q.I[vi] != 1 && !edgeLabelOccurs(s.edgeLabelIDs[vi]) {
+				fixedEdges[vi] = true
+			}
+		case query.RangeVar:
+			if tv.Op == graph.OpEQ {
+				continue // set-membership restriction not modeled by caps
+			}
+			e := extremaOf(t.Nodes[tv.Node].Label, tv.Attr)
+			if !e.any {
+				maxLevel[vi] = -1 // no values at all: suppress every step
+				continue
+			}
+			cap := -1
+			for l := len(tv.Ladder) - 1; l >= 0; l-- {
+				if predicateSatisfiable(tv.Op, tv.Ladder[l], e.lo, e.hi) {
+					cap = l
+					break
+				}
+			}
+			maxLevel[vi] = cap
+		}
+	}
+	return maxLevel, fixedEdges
+}
+
+// predicateSatisfiable reports whether "A op bound" can hold for some value
+// in [lo, hi].
+func predicateSatisfiable(op graph.Op, bound, lo, hi graph.Value) bool {
+	switch op {
+	case graph.OpGE:
+		return hi.Compare(bound) >= 0
+	case graph.OpGT:
+		return hi.Compare(bound) > 0
+	case graph.OpLE:
+		return lo.Compare(bound) <= 0
+	case graph.OpLT:
+		return lo.Compare(bound) < 0
+	case graph.OpEQ:
+		return lo.Compare(bound) <= 0 && hi.Compare(bound) >= 0
+	default:
+		return true
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
+	"fairsqg/internal/query"
+)
+
+// spawnFixture builds a tiny graph where the template-refinement caps are
+// hand-checkable: two directors, recommenders with experience 5 and 9, and
+// a distant person with experience 50 who is outside every neighborhood of
+// the directors.
+func spawnFixture(t *testing.T) (*Runner, *Verified) {
+	t.Helper()
+	g := graph.New()
+	d1 := g.AddNode("Person", map[string]graph.Value{"title": graph.Str("Director"), "gender": graph.Str("female")})
+	d2 := g.AddNode("Person", map[string]graph.Value{"title": graph.Str("Director"), "gender": graph.Str("male")})
+	r1 := g.AddNode("Person", map[string]graph.Value{"yearsOfExp": graph.Int(5), "gender": graph.Str("male")})
+	r2 := g.AddNode("Person", map[string]graph.Value{"yearsOfExp": graph.Int(9), "gender": graph.Str("female")})
+	far := g.AddNode("Person", map[string]graph.Value{"yearsOfExp": graph.Int(50), "gender": graph.Str("male")})
+	other := g.AddNode("Person", map[string]graph.Value{"gender": graph.Str("male")})
+	if err := g.AddEdge(r1, d1, "recommend"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(r2, d2, "recommend"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(far, other, "recommend"); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+
+	tpl, err := query.NewBuilder("t").
+		Node("u_o", "Person").Literal("u_o", "title", graph.OpEQ, graph.Str("Director")).
+		Node("u1", "Person").RangeVar("x", "u1", "yearsOfExp", graph.OpGE).
+		Edge("u1", "u_o", "recommend").
+		Output("u_o").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.BindDomains(g, query.DomainOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// The global ladder includes 50 (from the far person).
+	x := tpl.Vars[tpl.Var("x")]
+	if len(x.Ladder) != 3 || !x.Ladder[2].Equal(graph.Int(50)) {
+		t.Fatalf("ladder = %v", x.Ladder)
+	}
+	set := groups.EqualOpportunity(groups.ByAttribute(g, "Person", "gender"), 1)
+	cfg := &Config{G: g, Template: tpl, Groups: set, Eps: 0.3}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := query.MustInstance(tpl, query.Root(tpl))
+	v := r.verify(root, nil)
+	if !v.Feasible {
+		t.Fatal("root infeasible in spawn fixture")
+	}
+	return r, v
+}
+
+// TestSpawnRestrictsLadder: the d-hop neighborhood of the directors
+// contains experience values 5 and 9 only, so refinement must never spawn
+// the binding x = 50 even though it is in the global ladder.
+func TestSpawnRestrictsLadder(t *testing.T) {
+	r, v := spawnFixture(t)
+	sp := newSpawner(r)
+	var sawLevels []int
+	queue := []*Verified{v}
+	seen := map[string]bool{v.Q.Key(): true}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, child := range sp.refine(cur) {
+			if seen[child.Key()] {
+				continue
+			}
+			seen[child.Key()] = true
+			sawLevels = append(sawLevels, child[0])
+			cv := r.verify(query.MustInstance(r.cfg.Template, child), cur)
+			if cv.Feasible {
+				queue = append(queue, cv)
+			}
+		}
+	}
+	for _, l := range sawLevels {
+		if l == 2 { // ladder index of the value 50
+			t.Fatal("spawner offered the unreachable binding x = 50")
+		}
+	}
+	if len(sawLevels) == 0 {
+		t.Fatal("spawner produced nothing")
+	}
+	// The unrestricted spawner would offer level 0 first; make sure the
+	// restriction did not remove the useful steps.
+	found := false
+	for _, l := range sawLevels {
+		if l == 0 || l == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("restriction removed reachable bindings")
+	}
+}
+
+// TestSpawnDisabled: with the optimization off the full ladder is offered.
+func TestSpawnDisabled(t *testing.T) {
+	r, v := spawnFixture(t)
+	r.cfg.DisableTemplateRefinement = true
+	sp := newSpawner(r)
+	kids := sp.refine(v)
+	// Root has x = wildcard; RefineSteps offers level 0 plus the edge-less
+	// structure (no edge vars here), so exactly one child: x -> 5.
+	if len(kids) != 1 || kids[0][0] != 0 {
+		t.Fatalf("unrestricted children = %v", kids)
+	}
+}
+
+// TestSpawnFixesDeadEdgeVar: an edge variable whose label never occurs
+// around the current matches is frozen at absent.
+func TestSpawnFixesDeadEdgeVar(t *testing.T) {
+	g := graph.New()
+	d := g.AddNode("Person", map[string]graph.Value{"title": graph.Str("Director"), "gender": graph.Str("female")})
+	r1 := g.AddNode("Person", map[string]graph.Value{"gender": graph.Str("male")})
+	if err := g.AddEdge(r1, d, "recommend"); err != nil {
+		t.Fatal(err)
+	}
+	// A "mentors" edge exists only in a far corner of the graph.
+	a := g.AddNode("Person", map[string]graph.Value{"gender": graph.Str("male")})
+	b := g.AddNode("Person", map[string]graph.Value{"gender": graph.Str("female")})
+	if err := g.AddEdge(a, b, "mentors"); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	tpl, err := query.NewBuilder("t").
+		Node("u_o", "Person").Literal("u_o", "title", graph.OpEQ, graph.Str("Director")).
+		Node("u1", "Person").
+		Node("u2", "Person").
+		VarEdge("rec", "u1", "u_o", "recommend").
+		VarEdge("men", "u2", "u_o", "mentors").
+		Output("u_o").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := groups.EqualOpportunity(groups.ByAttribute(g, "Person", "gender"), 1)
+	// Relax the constraint so the root (just the director) is feasible.
+	set[1].Want = 0
+	cfg := &Config{G: g, Template: tpl, Groups: set, Eps: 0.3}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := query.MustInstance(tpl, query.Root(tpl))
+	v := r.verify(root, nil)
+	if !v.Feasible {
+		t.Fatal("root infeasible")
+	}
+	sp := newSpawner(r)
+	for _, child := range sp.refine(v) {
+		if child[tpl.Var("men")] == 1 {
+			t.Fatal("dead edge variable was not frozen")
+		}
+	}
+}
+
+// TestPredicateSatisfiable covers the bound test used by the spawner.
+func TestPredicateSatisfiable(t *testing.T) {
+	lo, hi := graph.Int(5), graph.Int(9)
+	cases := []struct {
+		op    graph.Op
+		bound int64
+		want  bool
+	}{
+		{graph.OpGE, 9, true}, {graph.OpGE, 10, false},
+		{graph.OpGT, 8, true}, {graph.OpGT, 9, false},
+		{graph.OpLE, 5, true}, {graph.OpLE, 4, false},
+		{graph.OpLT, 6, true}, {graph.OpLT, 5, false},
+		{graph.OpEQ, 7, true}, {graph.OpEQ, 4, false}, {graph.OpEQ, 10, false},
+	}
+	for _, c := range cases {
+		if got := predicateSatisfiable(c.op, graph.Int(c.bound), lo, hi); got != c.want {
+			t.Errorf("satisfiable(%s %d in [5,9]) = %v, want %v", c.op, c.bound, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package gen
+
+import (
+	"fmt"
+
+	"fairsqg/internal/graph"
+)
+
+// DBP schema constants.
+var (
+	dbpGenres = []string{
+		"Action", "Romance", "Horror", "Comedy", "Drama",
+		"SciFi", "Documentary", "Thriller", "Animation", "Western",
+	}
+	dbpGenreWeights = []float64{14, 16, 10, 15, 18, 8, 5, 8, 4, 2}
+
+	dbpCountries = []string{
+		"US", "UK", "France", "India", "Japan",
+		"Germany", "Korea", "Italy", "Brazil", "Canada",
+	}
+	dbpCountryWeights = []float64{30, 12, 10, 14, 8, 7, 7, 5, 4, 3}
+
+	dbpStudioCities = []string{
+		"LosAngeles", "London", "Paris", "Mumbai", "Tokyo",
+		"Berlin", "Seoul", "Rome", "SaoPaulo", "Toronto",
+	}
+)
+
+// BuildDBP generates the movie-knowledge-graph dataset: Movie, Director,
+// Actor and Studio nodes with rating/year/awards attributes, connected by
+// directed/actsIn/producedBy/collab edges. Genre and country populations
+// are skewed so that genre groups have the unequal sizes the fairness
+// constraints react to.
+func BuildDBP(opts Options) *graph.Graph {
+	budget := opts.Nodes
+	if budget <= 0 {
+		budget = DefaultNodes(DBP)
+	}
+	r := newRNG(opts.Seed + 0xd8b)
+	g := graph.New()
+
+	numMovies := budget * 5 / 10
+	numActors := budget * 3 / 10
+	numDirectors := budget * 15 / 100
+	numStudios := budget - numMovies - numActors - numDirectors
+	if numStudios < 5 {
+		numStudios = 5
+	}
+
+	studios := make([]graph.NodeID, numStudios)
+	for i := range studios {
+		studios[i] = g.AddNode("Studio", map[string]graph.Value{
+			"name": graph.Str("studio-" + name(r, 2) + fmt.Sprint(i%89)),
+			"city": graph.Str(pick(r, dbpStudioCities)),
+		})
+	}
+	directors := make([]graph.NodeID, numDirectors)
+	for i := range directors {
+		directors[i] = g.AddNode("Director", map[string]graph.Value{
+			"name":        graph.Str(name(r, 3)),
+			"awards":      graph.Int(int64(zipfTarget(r, 12))),
+			"yearsActive": graph.Int(int64(r.Intn(45))),
+		})
+	}
+	actors := make([]graph.NodeID, numActors)
+	for i := range actors {
+		actors[i] = g.AddNode("Actor", map[string]graph.Value{
+			"name":       graph.Str(name(r, 3)),
+			"country":    graph.Str(dbpCountries[pickWeighted(r, dbpCountryWeights)]),
+			"popularity": graph.Int(int64(zipfTarget(r, 100))),
+		})
+	}
+	movies := make([]graph.NodeID, numMovies)
+	for i := range movies {
+		// Ratings cluster around 6.0 with one decimal of precision.
+		rating := 2.0 + 8.0*r.Float64()*r.Float64()
+		rating = float64(int(rating*10)) / 10
+		movies[i] = g.AddNode("Movie", map[string]graph.Value{
+			"title":   graph.Str("the-" + name(r, 3)),
+			"genre":   graph.Str(dbpGenres[pickWeighted(r, dbpGenreWeights)]),
+			"country": graph.Str(dbpCountries[pickWeighted(r, dbpCountryWeights)]),
+			"rating":  graph.Num(rating),
+			"year":    graph.Int(int64(1950 + r.Intn(73))),
+			"awards":  graph.Int(int64(zipfTarget(r, 8))),
+		})
+	}
+
+	for _, mv := range movies {
+		mustEdge(g, directors[zipfTarget(r, numDirectors)], mv, "directed")
+		mustEdge(g, mv, studios[zipfTarget(r, numStudios)], "producedBy")
+		cast := 2 + r.Intn(4)
+		for c := 0; c < cast; c++ {
+			mustEdge(g, actors[zipfTarget(r, numActors)], mv, "actsIn")
+		}
+	}
+	// Director-actor collaborations.
+	numCollab := numDirectors * 3
+	for i := 0; i < numCollab; i++ {
+		mustEdge(g, directors[r.Intn(numDirectors)], actors[zipfTarget(r, numActors)], "collab")
+	}
+	g.Freeze()
+	return g
+}

@@ -1,0 +1,116 @@
+// Package gen builds the seeded synthetic datasets and query templates the
+// experiments run on. The paper evaluates on three real-life graphs (a
+// DBpedia movie knowledge graph, a LinkedIn-like professional network and a
+// Microsoft-Academic-like citation graph); those datasets are not
+// redistributable, so this package generates graphs with the same schema
+// shape — labels, attribute types, group structure and degree skew — at a
+// configurable scale (see DESIGN.md, "Substitutions").
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fairsqg/internal/graph"
+)
+
+// Dataset names accepted by Build.
+const (
+	DBP  = "dbp"
+	LKI  = "lki"
+	Cite = "cite"
+)
+
+// Options scales a generated dataset.
+type Options struct {
+	// Nodes is the approximate node budget (the generator may add a few
+	// percent for mandatory entities). Zero selects the dataset default.
+	Nodes int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Build generates the named dataset and freezes it.
+func Build(name string, opts Options) (*graph.Graph, error) {
+	switch name {
+	case DBP:
+		return BuildDBP(opts), nil
+	case LKI:
+		return BuildLKI(opts), nil
+	case Cite:
+		return BuildCite(opts), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown dataset %q (want dbp, lki or cite)", name)
+	}
+}
+
+// DefaultNodes returns the default node budget per dataset; ratios follow
+// the paper's Table II with sizes reduced to laptop scale.
+func DefaultNodes(name string) int {
+	switch name {
+	case DBP:
+		return 20000
+	case LKI:
+		return 26000
+	case Cite:
+		return 24000
+	default:
+		return 20000
+	}
+}
+
+// rng wraps math/rand with the helpers the generators share.
+type rng struct{ *rand.Rand }
+
+func newRNG(seed int64) rng { return rng{rand.New(rand.NewSource(seed))} }
+
+// pick returns a uniformly random element.
+func pick[T any](r rng, xs []T) T { return xs[r.Intn(len(xs))] }
+
+// pickWeighted returns index i with probability weights[i]/Σweights.
+func pickWeighted(r rng, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// zipfTarget returns a preferential-attachment-style target in [0, n): the
+// probability of index i decays with rank, producing the skewed in-degree
+// distributions of real social and citation graphs.
+func zipfTarget(r rng, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Square the uniform draw: quadratic bias toward low indices.
+	f := r.Float64()
+	return int(f * f * float64(n))
+}
+
+// syllables for synthetic names: varied strings keep the tuple edit
+// distance informative.
+var syllables = []string{
+	"al", "ber", "cor", "dan", "el", "fra", "gor", "hua", "iri", "jon",
+	"kel", "lor", "mar", "nor", "oli", "pet", "qui", "ros", "sam", "tia",
+	"ulf", "vic", "wen", "xia", "yor", "zoe",
+}
+
+// name builds a pseudo-random name of 2-4 syllables.
+func name(r rng, parts int) string {
+	if parts < 2 {
+		parts = 2
+	}
+	s := ""
+	for i := 0; i < parts; i++ {
+		s += pick(r, syllables)
+	}
+	return s
+}

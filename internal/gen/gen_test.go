@@ -1,0 +1,278 @@
+package gen
+
+import (
+	"testing"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
+	"fairsqg/internal/match"
+	"fairsqg/internal/measure"
+	"fairsqg/internal/query"
+)
+
+func TestBuildDatasets(t *testing.T) {
+	for _, name := range []string{DBP, LKI, Cite} {
+		g, err := Build(name, Options{Nodes: 3000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Frozen() {
+			t.Fatalf("%s: not frozen", name)
+		}
+		s := graph.Summarize(g)
+		if s.Nodes < 2500 || s.Nodes > 3500 {
+			t.Errorf("%s: |V| = %d, want ≈3000", name, s.Nodes)
+		}
+		if s.Edges < s.Nodes {
+			t.Errorf("%s: |E| = %d < |V| = %d", name, s.Edges, s.Nodes)
+		}
+		if s.AvgAttrs < 1.5 {
+			t.Errorf("%s: avgAttrs = %v", name, s.AvgAttrs)
+		}
+	}
+	if _, err := Build("nope", Options{}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	a := BuildLKI(Options{Nodes: 1000, Seed: 5})
+	b := BuildLKI(Options{Nodes: 1000, Seed: 5})
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := 0; i < a.NumNodes(); i += 97 {
+		v := graph.NodeID(i)
+		if a.Label(v) != b.Label(v) {
+			t.Fatalf("node %d labels differ", i)
+		}
+		for k, av := range a.Attrs(v) {
+			if !b.Attr(v, k).Equal(av) {
+				t.Fatalf("node %d attr %s differs", i, k)
+			}
+		}
+	}
+	c := BuildLKI(Options{Nodes: 1000, Seed: 6})
+	if c.NumEdges() == a.NumEdges() {
+		t.Log("warning: different seeds gave identical edge counts (possible but unlikely)")
+	}
+}
+
+func TestLKIGroupStructure(t *testing.T) {
+	g := BuildLKI(Options{Nodes: 4000, Seed: 2})
+	set := groups.ByAttribute(g, "Person", "gender")
+	if len(set) != 2 {
+		t.Fatalf("gender groups = %d", len(set))
+	}
+	var male, female int
+	for _, gr := range set {
+		switch gr.Name {
+		case "gender=male":
+			male = gr.Size()
+		case "gender=female":
+			female = gr.Size()
+		}
+	}
+	if male <= female {
+		t.Errorf("expected male-skewed population, got %d/%d", male, female)
+	}
+	if float64(female)/float64(male) < 0.45 {
+		t.Errorf("skew too extreme: %d/%d", male, female)
+	}
+	// Directors exist and are a minority.
+	dirs := 0
+	for _, v := range g.NodesByLabel("Person") {
+		if g.Attr(v, "title").Equal(graph.Str("Director")) {
+			dirs++
+		}
+	}
+	total := g.CountLabel("Person")
+	if dirs == 0 || dirs > total/5 {
+		t.Errorf("directors = %d of %d", dirs, total)
+	}
+}
+
+func TestSchemas(t *testing.T) {
+	for _, name := range []string{DBP, LKI, Cite} {
+		s, err := SchemaFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Output == "" || len(s.EdgeTypes) == 0 || len(s.NumericAttrs) == 0 {
+			t.Errorf("%s schema incomplete: %+v", name, s)
+		}
+	}
+	if _, err := SchemaFor("x"); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}
+
+func TestGenerateTemplate(t *testing.T) {
+	g := BuildLKI(Options{Nodes: 2000, Seed: 3})
+	s, err := SchemaFor(LKI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []TemplateParams{
+		{Size: 3, RangeVars: 2, EdgeVars: 1, Seed: 1},
+		{Size: 4, RangeVars: 1, EdgeVars: 2, Seed: 2, Selective: true},
+		{Size: 5, RangeVars: 2, EdgeVars: 5, Seed: 3},
+	} {
+		tpl, err := GenerateTemplate(s, p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if err := tpl.Validate(); err != nil {
+			t.Fatalf("%+v: invalid template: %v", p, err)
+		}
+		if len(tpl.Edges) != p.Size {
+			t.Errorf("size = %d, want %d", len(tpl.Edges), p.Size)
+		}
+		if tpl.NumRangeVars() != p.RangeVars || tpl.NumEdgeVars() != p.EdgeVars {
+			t.Errorf("|X_L|=%d |X_E|=%d, want %d/%d",
+				tpl.NumRangeVars(), tpl.NumEdgeVars(), p.RangeVars, p.EdgeVars)
+		}
+		if err := tpl.BindDomains(g, query.DomainOptions{MaxValues: 6}); err != nil {
+			t.Fatalf("%+v: BindDomains: %v", p, err)
+		}
+	}
+	// Determinism.
+	a, _ := GenerateTemplate(s, TemplateParams{Size: 4, RangeVars: 2, EdgeVars: 2, Seed: 9})
+	b, _ := GenerateTemplate(s, TemplateParams{Size: 4, RangeVars: 2, EdgeVars: 2, Seed: 9})
+	if query.Format(a) != query.Format(b) {
+		t.Error("template generation not deterministic")
+	}
+	// Errors.
+	if _, err := GenerateTemplate(s, TemplateParams{Size: 0}); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := GenerateTemplate(s, TemplateParams{Size: 2, EdgeVars: 3}); err == nil {
+		t.Error("|X_E| > size accepted")
+	}
+	if _, err := GenerateTemplate(s, TemplateParams{Size: 1, RangeVars: 50}); err == nil {
+		t.Error("excessive |X_L| accepted")
+	}
+}
+
+func TestGenerateFeasibleTemplate(t *testing.T) {
+	g := BuildLKI(Options{Nodes: 2000, Seed: 4})
+	s, _ := SchemaFor(LKI)
+	m := match.New(g)
+	set := groups.EqualOpportunity(groups.ByAttribute(g, "Person", "gender"), 5)
+	probe := func(tpl *query.Template) bool {
+		root := query.MustInstance(tpl, query.Root(tpl))
+		return measure.Feasible(set, m.EvalOutput(root))
+	}
+	tpl, err := GenerateFeasibleTemplate(g, s, TemplateParams{Size: 3, RangeVars: 1, EdgeVars: 1, Seed: 1}, 6, 20, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probe(tpl) {
+		t.Error("returned template fails its own probe")
+	}
+	// A probe that always fails exhausts tries.
+	if _, err := GenerateFeasibleTemplate(g, s, TemplateParams{Size: 3, RangeVars: 1, EdgeVars: 1}, 6, 3,
+		func(*query.Template) bool { return false }); err == nil {
+		t.Error("impossible probe should fail")
+	}
+}
+
+func TestCanonicalTemplates(t *testing.T) {
+	lki := BuildLKI(Options{Nodes: 2000, Seed: 5})
+	dbp := BuildDBP(Options{Nodes: 2000, Seed: 5})
+	cite := BuildCite(Options{Nodes: 2000, Seed: 5})
+	cases := []struct {
+		tpl *query.Template
+		g   *graph.Graph
+	}{
+		{TalentTemplate(), lki},
+		{MovieTemplate(), dbp},
+		{PaperTemplate(), cite},
+	}
+	for _, c := range cases {
+		if err := c.tpl.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.tpl.Name, err)
+		}
+		if err := c.tpl.BindDomains(c.g, query.DomainOptions{MaxValues: 8}); err != nil {
+			t.Fatalf("%s: BindDomains: %v", c.tpl.Name, err)
+		}
+		// The root instance must return something on the matching dataset.
+		m := match.New(c.g)
+		root := query.MustInstance(c.tpl, query.Root(c.tpl))
+		if got := m.EvalOutput(root); len(got) == 0 {
+			t.Errorf("%s: root instance has no matches", c.tpl.Name)
+		}
+	}
+}
+
+func TestCiteCitationCounts(t *testing.T) {
+	g := BuildCite(Options{Nodes: 2000, Seed: 6})
+	// numberOfCitations must equal the cites in-degree.
+	cites := g.LookupLabel("cites")
+	for _, p := range g.NodesByLabel("Paper") {
+		inCites := 0
+		for _, e := range g.In(p) {
+			if e.Label == cites {
+				inCites++
+			}
+		}
+		if got := int(g.Attr(p, "numberOfCitations").Float()); got != inCites {
+			t.Fatalf("paper %d: numberOfCitations=%d, in-degree=%d", p, got, inCites)
+		}
+	}
+}
+
+func TestDBPStructure(t *testing.T) {
+	g := BuildDBP(Options{Nodes: 4000, Seed: 7})
+	movies := g.NodesByLabel("Movie")
+	if len(movies) == 0 {
+		t.Fatal("no movies")
+	}
+	// Genre skew: Drama (weight 18) clearly outnumbers Western (weight 2).
+	counts := map[string]int{}
+	for _, m := range movies {
+		counts[g.Attr(m, "genre").Text()]++
+	}
+	if counts["Drama"] <= counts["Western"] {
+		t.Errorf("genre skew missing: Drama=%d Western=%d", counts["Drama"], counts["Western"])
+	}
+	// Ratings live in [2, 10] with one decimal.
+	for _, m := range movies[:200] {
+		r := g.Attr(m, "rating").Float()
+		if r < 2 || r > 10 {
+			t.Fatalf("rating %v out of range", r)
+		}
+	}
+	// Every movie has a director edge.
+	directed := g.LookupLabel("directed")
+	for _, m := range movies[:200] {
+		found := false
+		for _, e := range g.In(m) {
+			if e.Label == directed {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("movie without director")
+		}
+	}
+}
+
+func TestCiteYearsMonotone(t *testing.T) {
+	g := BuildCite(Options{Nodes: 3000, Seed: 8})
+	// Citations point backwards in time: every cites edge goes to a paper
+	// with year <= the citing paper's year.
+	cites := g.LookupLabel("cites")
+	for _, p := range g.NodesByLabel("Paper") {
+		py := g.Attr(p, "year").Float()
+		for _, e := range g.Out(p) {
+			if e.Label != cites {
+				continue
+			}
+			if qy := g.Attr(e.To, "year").Float(); qy > py {
+				t.Fatalf("paper(year=%v) cites future paper(year=%v)", py, qy)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"fairsqg/internal/graph"
+)
+
+// LKI schema constants.
+var (
+	lkiTitles = []string{
+		"Director", "Manager", "Engineer", "Analyst", "Consultant",
+		"Designer", "Scientist", "Recruiter", "Intern", "Executive",
+	}
+	// Directors and managers are deliberately a visible minority so the
+	// talent-search templates have selective output labels.
+	lkiTitleWeights = []float64{5, 8, 30, 15, 10, 8, 8, 4, 8, 4}
+
+	lkiMajors = []string{
+		"ComputerScience", "Economics", "Mathematics", "Physics", "Biology",
+		"Chemistry", "History", "Philosophy", "Linguistics", "Sociology",
+		"Statistics", "Finance", "Marketing", "Design", "Law",
+		"Medicine", "Psychology", "Education", "MechanicalEng", "CivilEng",
+		"ElectricalEng", "Journalism", "Music", "Architecture", "Geology",
+		"Astronomy", "Anthropology", "PoliticalScience", "Nursing", "Art",
+	}
+	lkiSkills = []string{
+		"IT", "Sales", "Research", "Operations", "Strategy",
+		"Data", "Cloud", "Security", "Product", "Support",
+	}
+	lkiIndustries = []string{
+		"Software", "Banking", "Healthcare", "Retail", "Energy",
+		"Education", "Media", "Logistics", "Insurance", "Manufacturing",
+	}
+)
+
+// BuildLKI generates the professional-network dataset: Person and Org
+// nodes, worksAt/recommend/coreview edges, and a skewed synthetic gender
+// attribute (~60/40 male/female, mirroring the paper's skewed talent-search
+// motivation). Every person works at one organization; recommendation and
+// co-review edges follow a preferential-attachment skew.
+func BuildLKI(opts Options) *graph.Graph {
+	budget := opts.Nodes
+	if budget <= 0 {
+		budget = DefaultNodes(LKI)
+	}
+	r := newRNG(opts.Seed + 0x1f1)
+	g := graph.New()
+
+	numOrgs := budget / 20
+	if numOrgs < 5 {
+		numOrgs = 5
+	}
+	numPersons := budget - numOrgs
+
+	orgs := make([]graph.NodeID, numOrgs)
+	for i := range orgs {
+		// Log-uniform employee counts between 10 and ~20000.
+		emp := int64(10.0 * math.Pow(2000.0, r.Float64()))
+		orgs[i] = g.AddNode("Org", map[string]graph.Value{
+			"name":      graph.Str("org-" + name(r, 2) + fmt.Sprint(i%97)),
+			"employees": graph.Int(emp),
+			"industry":  graph.Str(pick(r, lkiIndustries)),
+		})
+	}
+
+	persons := make([]graph.NodeID, numPersons)
+	for i := range persons {
+		gender := "male"
+		if r.Float64() < 0.4 {
+			gender = "female"
+		}
+		title := lkiTitles[pickWeighted(r, lkiTitleWeights)]
+		persons[i] = g.AddNode("Person", map[string]graph.Value{
+			"name":       graph.Str(name(r, 3)),
+			"gender":     graph.Str(gender),
+			"title":      graph.Str(title),
+			"major":      graph.Str(pick(r, lkiMajors)),
+			"skill":      graph.Str(pick(r, lkiSkills)),
+			"yearsOfExp": graph.Int(int64(r.Intn(31))),
+		})
+	}
+
+	for _, p := range persons {
+		mustEdge(g, p, orgs[zipfTarget(r, numOrgs)], "worksAt")
+	}
+	// Recommendation edges: ~4 per person on average, skewed toward
+	// low-index (popular) targets.
+	numRec := numPersons * 4
+	for i := 0; i < numRec; i++ {
+		from := persons[r.Intn(numPersons)]
+		to := persons[zipfTarget(r, numPersons)]
+		if from != to {
+			mustEdge(g, from, to, "recommend")
+		}
+	}
+	// Co-review edges: ~2 per person, uniform.
+	numCo := numPersons * 2
+	for i := 0; i < numCo; i++ {
+		from := persons[r.Intn(numPersons)]
+		to := persons[r.Intn(numPersons)]
+		if from != to {
+			mustEdge(g, from, to, "coreview")
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+func mustEdge(g *graph.Graph, from, to graph.NodeID, label string) {
+	if err := g.AddEdge(from, to, label); err != nil {
+		panic(err) // generator controls all IDs; out-of-range is a bug
+	}
+}

@@ -1,0 +1,285 @@
+package gen
+
+import (
+	"fmt"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/query"
+)
+
+// EdgeType is one relationship the template generator may instantiate.
+type EdgeType struct {
+	From, To, Label string
+}
+
+// Selector is a fixed literal candidate for the output node that keeps the
+// output population selective (e.g. title = Director for talent search).
+type Selector struct {
+	Attr  string
+	Op    graph.Op
+	Value graph.Value
+}
+
+// Schema describes the shape of a dataset for template generation.
+type Schema struct {
+	Name string
+	// Output is the label of the designated output node.
+	Output string
+	// EdgeTypes lists the relationships templates may use.
+	EdgeTypes []EdgeType
+	// NumericAttrs maps a label to the attributes usable as range
+	// variables.
+	NumericAttrs map[string][]string
+	// OutputSelectors are optional fixed literals for the output node.
+	OutputSelectors []Selector
+}
+
+// SchemaFor returns the generation schema of a dataset.
+func SchemaFor(dataset string) (*Schema, error) {
+	switch dataset {
+	case DBP:
+		return &Schema{
+			Name:   DBP,
+			Output: "Movie",
+			EdgeTypes: []EdgeType{
+				{From: "Director", To: "Movie", Label: "directed"},
+				{From: "Actor", To: "Movie", Label: "actsIn"},
+				{From: "Movie", To: "Studio", Label: "producedBy"},
+				{From: "Director", To: "Actor", Label: "collab"},
+			},
+			NumericAttrs: map[string][]string{
+				"Movie":    {"rating", "year", "awards"},
+				"Director": {"awards", "yearsActive"},
+				"Actor":    {"popularity"},
+			},
+			OutputSelectors: []Selector{
+				{Attr: "country", Op: graph.OpEQ, Value: graph.Str("US")},
+				{Attr: "genre", Op: graph.OpEQ, Value: graph.Str("Drama")},
+			},
+		}, nil
+	case LKI:
+		return &Schema{
+			Name:   LKI,
+			Output: "Person",
+			EdgeTypes: []EdgeType{
+				{From: "Person", To: "Person", Label: "recommend"},
+				{From: "Person", To: "Person", Label: "coreview"},
+				{From: "Person", To: "Org", Label: "worksAt"},
+			},
+			NumericAttrs: map[string][]string{
+				"Person": {"yearsOfExp"},
+				"Org":    {"employees"},
+			},
+			OutputSelectors: []Selector{
+				{Attr: "title", Op: graph.OpEQ, Value: graph.Str("Director")},
+				{Attr: "title", Op: graph.OpEQ, Value: graph.Str("Manager")},
+			},
+		}, nil
+	case Cite:
+		return &Schema{
+			Name:   Cite,
+			Output: "Paper",
+			EdgeTypes: []EdgeType{
+				{From: "Paper", To: "Paper", Label: "cites"},
+				{From: "Author", To: "Paper", Label: "authored"},
+			},
+			NumericAttrs: map[string][]string{
+				"Paper":  {"numberOfCitations", "year"},
+				"Author": {"hIndex"},
+			},
+			OutputSelectors: []Selector{
+				{Attr: "venue", Op: graph.OpEQ, Value: graph.Str("ICDE")},
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("gen: no schema for dataset %q", dataset)
+	}
+}
+
+// TemplateParams controls template generation: |Q(u_o)| (edges), |X_L|,
+// |X_E| and the topology draw.
+type TemplateParams struct {
+	// Size is the number of query edges (the paper's |Q(u_o)|).
+	Size int
+	// RangeVars is |X_L|; EdgeVars is |X_E|. EdgeVars must be <= Size.
+	RangeVars int
+	EdgeVars  int
+	// Selective adds one fixed selector literal on the output node.
+	Selective bool
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateTemplate builds a tree-shaped template over the schema: it grows
+// Size edges outward from the output node (one fresh node per edge),
+// parameterizes EdgeVars of them, and attaches RangeVars parameterized
+// literals on numeric attributes. Ladders are NOT bound; call
+// Template.BindDomains against the target graph afterwards.
+func GenerateTemplate(s *Schema, p TemplateParams) (*query.Template, error) {
+	if p.Size < 1 {
+		return nil, fmt.Errorf("gen: template size must be >= 1")
+	}
+	if p.EdgeVars > p.Size {
+		return nil, fmt.Errorf("gen: |X_E|=%d exceeds template size %d", p.EdgeVars, p.Size)
+	}
+	r := newRNG(p.Seed + 0x7e)
+	b := query.NewBuilder(fmt.Sprintf("%s-q%d-xl%d-xe%d-s%d", s.Name, p.Size, p.RangeVars, p.EdgeVars, p.Seed))
+	b.Node("u_o", s.Output)
+	if p.Selective && len(s.OutputSelectors) > 0 {
+		sel := pick(r, s.OutputSelectors)
+		b.Literal("u_o", sel.Attr, sel.Op, sel.Value)
+	}
+	type qnode struct {
+		name  string
+		label string
+	}
+	nodes := []qnode{{name: "u_o", label: s.Output}}
+	type qedge struct {
+		from, to, label string
+	}
+	var edges []qedge
+	for len(edges) < p.Size {
+		// Pick an existing node and an edge type incident to its label.
+		base := pick(r, nodes)
+		var options []EdgeType
+		for _, et := range s.EdgeTypes {
+			if et.From == base.label || et.To == base.label {
+				options = append(options, et)
+			}
+		}
+		if len(options) == 0 {
+			continue
+		}
+		et := pick(r, options)
+		fresh := qnode{name: fmt.Sprintf("u%d", len(nodes)), label: ""}
+		var e qedge
+		if et.From == base.label && (et.To != base.label || r.Intn(2) == 0) {
+			fresh.label = et.To
+			e = qedge{from: base.name, to: fresh.name, label: et.Label}
+		} else {
+			fresh.label = et.From
+			e = qedge{from: fresh.name, to: base.name, label: et.Label}
+		}
+		b.Node(fresh.name, fresh.label)
+		nodes = append(nodes, fresh)
+		edges = append(edges, e)
+	}
+	// Choose which edges are parameterized: a random subset of size
+	// EdgeVars, preferring leaf-side edges (added later) so the root stays
+	// connected under relaxed instantiations.
+	varEdge := make([]bool, len(edges))
+	for n, tries := 0, 0; n < p.EdgeVars && tries < 100*p.Size; tries++ {
+		i := len(edges) - 1 - zipfTarget(r, len(edges))
+		if !varEdge[i] {
+			varEdge[i] = true
+			n++
+		}
+	}
+	for i, e := range edges {
+		if varEdge[i] {
+			b.VarEdge(fmt.Sprintf("e%d", i+1), e.from, e.to, e.label)
+		} else {
+			b.Edge(e.from, e.to, e.label)
+		}
+	}
+	// Attach range variables over distinct (node, attr) slots.
+	type slot struct{ node, attr string }
+	var slots []slot
+	for _, n := range nodes {
+		for _, a := range s.NumericAttrs[n.label] {
+			slots = append(slots, slot{node: n.name, attr: a})
+		}
+	}
+	if p.RangeVars > len(slots) {
+		return nil, fmt.Errorf("gen: |X_L|=%d exceeds the %d numeric (node, attr) slots of this topology",
+			p.RangeVars, len(slots))
+	}
+	r.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	for i := 0; i < p.RangeVars; i++ {
+		op := graph.OpGE
+		if r.Float64() < 0.2 {
+			op = graph.OpLE
+		}
+		b.RangeVar(fmt.Sprintf("x%d", i+1), slots[i].node, slots[i].attr, op)
+	}
+	b.Output("u_o")
+	return b.Build()
+}
+
+// GenerateFeasibleTemplate retries GenerateTemplate over successive seeds
+// until the template's most relaxed instance is feasible for the given
+// groups when answered over g (checked by the caller-provided probe), or
+// maxTries is exhausted. It returns the bound template.
+func GenerateFeasibleTemplate(g *graph.Graph, s *Schema, p TemplateParams, maxDomain, maxTries int,
+	probe func(t *query.Template) bool) (*query.Template, error) {
+	if maxTries <= 0 {
+		maxTries = 20
+	}
+	var lastErr error
+	for try := 0; try < maxTries; try++ {
+		params := p
+		params.Seed = p.Seed + int64(try)
+		t, err := GenerateTemplate(s, params)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := t.BindDomains(g, query.DomainOptions{MaxValues: maxDomain}); err != nil {
+			lastErr = err
+			continue
+		}
+		if probe == nil || probe(t) {
+			return t, nil
+		}
+		lastErr = fmt.Errorf("gen: template seed %d has no feasible instances", params.Seed)
+	}
+	return nil, fmt.Errorf("gen: no feasible template after %d tries: %w", maxTries, lastErr)
+}
+
+// TalentTemplate is the paper's running talent-search template (Fig. 1):
+// directors recommended by experienced users, one of whom works at a large
+// organization. Range variables parameterize the recommenders' years of
+// experience and the organization size; edge variables control the two
+// recommendation edges.
+func TalentTemplate() *query.Template {
+	return query.NewBuilder("talent").
+		Node("u_o", "Person").Literal("u_o", "title", graph.OpEQ, graph.Str("Director")).
+		Node("u1", "Person").RangeVar("x1", "u1", "yearsOfExp", graph.OpGE).
+		Node("u2", "Person").RangeVar("x2", "u2", "yearsOfExp", graph.OpGE).
+		Node("u4", "Org").RangeVar("x3", "u4", "employees", graph.OpGE).
+		VarEdge("e1", "u1", "u_o", "recommend").
+		VarEdge("e2", "u2", "u_o", "recommend").
+		Edge("u1", "u4", "worksAt").
+		Output("u_o").
+		MustBuild()
+}
+
+// MovieTemplate is the Fig. 12 case-study template: US movies with
+// parameterized rating and director awards, and parameterized
+// direction/casting edges.
+func MovieTemplate() *query.Template {
+	return query.NewBuilder("movie").
+		Node("m", "Movie").
+		Literal("m", "country", graph.OpEQ, graph.Str("US")).
+		RangeVar("r", "m", "rating", graph.OpGE).
+		Node("d", "Director").RangeVar("aw", "d", "awards", graph.OpGE).
+		Node("a", "Actor").
+		VarEdge("e1", "d", "m", "directed").
+		VarEdge("e2", "a", "m", "actsIn").
+		Output("m").
+		MustBuild()
+}
+
+// PaperTemplate is the academic-search template: highly cited papers with a
+// parameterized citation threshold, cited by another paper and written by
+// an author with a parameterized h-index.
+func PaperTemplate() *query.Template {
+	return query.NewBuilder("paper").
+		Node("p", "Paper").RangeVar("c", "p", "numberOfCitations", graph.OpGE).
+		Node("q", "Paper").
+		Node("a", "Author").RangeVar("h", "a", "hIndex", graph.OpGE).
+		VarEdge("e1", "q", "p", "cites").
+		Edge("a", "p", "authored").
+		Output("p").
+		MustBuild()
+}

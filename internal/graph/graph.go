@@ -1,0 +1,296 @@
+// Package graph implements the attributed directed graph substrate used by
+// the FairSQG query-generation algorithms: nodes and edges carry labels,
+// nodes carry typed attribute tuples, and the graph maintains the label and
+// active-domain indexes the matcher and the spawners rely on.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node; IDs are dense and assigned in insertion order.
+type NodeID int32
+
+// InvalidNode is returned by lookups that find no node.
+const InvalidNode NodeID = -1
+
+// Edge is one directed, labeled edge as seen from one endpoint.
+type Edge struct {
+	To    NodeID // the neighbor (target for Out, source for In)
+	Label LabelID
+}
+
+// LabelID is an interned node or edge label. Node labels and edge labels
+// share one dictionary.
+type LabelID int32
+
+// InvalidLabel is returned when a label has never been interned.
+const InvalidLabel LabelID = -1
+
+// nodeData is the per-node record.
+type nodeData struct {
+	label LabelID
+	attrs map[string]Value
+}
+
+// Graph is an attributed directed graph G = (V, E, L, T). Build it with
+// AddNode/AddEdge, then call Freeze to construct the indexes; a frozen
+// graph is immutable and safe for concurrent readers.
+type Graph struct {
+	labels    []string
+	labelIDs  map[string]LabelID
+	nodes     []nodeData
+	out       [][]Edge
+	in        [][]Edge
+	numEdges  int
+	frozen    bool
+	byLabel   map[LabelID][]NodeID
+	domains   map[string][]Value
+	attrNames []string
+	maxOutDeg int
+	maxInDeg  int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{labelIDs: make(map[string]LabelID)}
+}
+
+// Intern returns the LabelID for s, creating it if needed.
+func (g *Graph) Intern(s string) LabelID {
+	if id, ok := g.labelIDs[s]; ok {
+		return id
+	}
+	id := LabelID(len(g.labels))
+	g.labels = append(g.labels, s)
+	g.labelIDs[s] = id
+	return id
+}
+
+// LabelOf returns the string form of an interned label.
+func (g *Graph) LabelOf(id LabelID) string {
+	if id < 0 || int(id) >= len(g.labels) {
+		return ""
+	}
+	return g.labels[id]
+}
+
+// LookupLabel returns the LabelID for s without interning, or InvalidLabel.
+func (g *Graph) LookupLabel(s string) LabelID {
+	if id, ok := g.labelIDs[s]; ok {
+		return id
+	}
+	return InvalidLabel
+}
+
+// AddNode appends a node with the given label and attribute tuple and
+// returns its ID. The attrs map is retained; callers must not mutate it
+// afterwards. AddNode panics on a frozen graph.
+func (g *Graph) AddNode(label string, attrs map[string]Value) NodeID {
+	g.mustMutable("AddNode")
+	if attrs == nil {
+		attrs = map[string]Value{}
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, nodeData{label: g.Intern(label), attrs: attrs})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddEdge inserts a directed labeled edge from → to.
+func (g *Graph) AddEdge(from, to NodeID, label string) error {
+	g.mustMutable("AddEdge")
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("graph: AddEdge(%d, %d): node out of range [0,%d)", from, to, len(g.nodes))
+	}
+	l := g.Intern(label)
+	g.out[from] = append(g.out[from], Edge{To: to, Label: l})
+	g.in[to] = append(g.in[to], Edge{To: from, Label: l})
+	g.numEdges++
+	return nil
+}
+
+func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.nodes) }
+
+func (g *Graph) mustMutable(op string) {
+	if g.frozen {
+		panic("graph: " + op + " on frozen graph")
+	}
+}
+
+// Freeze builds the label index and per-attribute active domains and marks
+// the graph immutable. Freeze is idempotent.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	g.byLabel = make(map[LabelID][]NodeID)
+	for i := range g.nodes {
+		l := g.nodes[i].label
+		g.byLabel[l] = append(g.byLabel[l], NodeID(i))
+	}
+	domains := make(map[string][]Value)
+	for i := range g.nodes {
+		for a, v := range g.nodes[i].attrs {
+			domains[a] = append(domains[a], v)
+		}
+	}
+	g.domains = make(map[string][]Value, len(domains))
+	g.attrNames = g.attrNames[:0]
+	for a, vs := range domains {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
+		dedup := vs[:0]
+		for i, v := range vs {
+			if i == 0 || !v.Equal(vs[i-1]) {
+				dedup = append(dedup, v)
+			}
+		}
+		g.domains[a] = dedup
+		g.attrNames = append(g.attrNames, a)
+	}
+	sort.Strings(g.attrNames)
+	for i := range g.out {
+		sortEdges(g.out[i])
+		sortEdges(g.in[i])
+		if len(g.out[i]) > g.maxOutDeg {
+			g.maxOutDeg = len(g.out[i])
+		}
+		if len(g.in[i]) > g.maxInDeg {
+			g.maxInDeg = len(g.in[i])
+		}
+	}
+	g.frozen = true
+}
+
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Label != es[j].Label {
+			return es[i].Label < es[j].Label
+		}
+		return es[i].To < es[j].To
+	})
+}
+
+// Frozen reports whether Freeze has been called.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Label returns the node's label string.
+func (g *Graph) Label(v NodeID) string { return g.labels[g.nodes[v].label] }
+
+// LabelID returns the node's interned label.
+func (g *Graph) NodeLabelID(v NodeID) LabelID { return g.nodes[v].label }
+
+// Attr returns the node's value for attribute a (Null when absent).
+func (g *Graph) Attr(v NodeID, a string) Value {
+	if val, ok := g.nodes[v].attrs[a]; ok {
+		return val
+	}
+	return Null
+}
+
+// Attrs returns the node's attribute tuple. Callers must not mutate it.
+func (g *Graph) Attrs(v NodeID) map[string]Value { return g.nodes[v].attrs }
+
+// SetAttr sets or overwrites one attribute of a node; only valid before
+// Freeze (active domains are built at freeze time).
+func (g *Graph) SetAttr(v NodeID, a string, val Value) {
+	g.mustMutable("SetAttr")
+	g.nodes[v].attrs[a] = val
+}
+
+// Out returns the out-edges of v sorted by (label, target).
+func (g *Graph) Out(v NodeID) []Edge { return g.out[v] }
+
+// In returns the in-edges of v sorted by (label, source).
+func (g *Graph) In(v NodeID) []Edge { return g.in[v] }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// HasEdge reports whether an edge from → to with the given label exists.
+func (g *Graph) HasEdge(from, to NodeID, label LabelID) bool {
+	es := g.out[from]
+	// Edges are sorted by (label, target) once frozen; binary search then.
+	if g.frozen {
+		i := sort.Search(len(es), func(i int) bool {
+			if es[i].Label != label {
+				return es[i].Label > label
+			}
+			return es[i].To >= to
+		})
+		return i < len(es) && es[i].Label == label && es[i].To == to
+	}
+	for _, e := range es {
+		if e.Label == label && e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// NodesByLabel returns the set V(u) = {v | L(v) = label}. The slice is
+// shared; callers must not mutate it. Requires a frozen graph.
+func (g *Graph) NodesByLabel(label string) []NodeID {
+	g.mustFrozen("NodesByLabel")
+	id, ok := g.labelIDs[label]
+	if !ok {
+		return nil
+	}
+	return g.byLabel[id]
+}
+
+// CountLabel returns |V(label)| on a frozen graph.
+func (g *Graph) CountLabel(label string) int { return len(g.NodesByLabel(label)) }
+
+// ActiveDomain returns adom(a): the sorted distinct values attribute a takes
+// over V. The slice is shared; callers must not mutate it.
+func (g *Graph) ActiveDomain(a string) []Value {
+	g.mustFrozen("ActiveDomain")
+	return g.domains[a]
+}
+
+// AttrNames returns the sorted names of all node attributes present in G.
+func (g *Graph) AttrNames() []string {
+	g.mustFrozen("AttrNames")
+	return g.attrNames
+}
+
+// MaxActiveDomain returns |adom_m|, the size of the largest active domain.
+func (g *Graph) MaxActiveDomain() int {
+	g.mustFrozen("MaxActiveDomain")
+	m := 0
+	for _, d := range g.domains {
+		if len(d) > m {
+			m = len(d)
+		}
+	}
+	return m
+}
+
+// NodeLabels returns the distinct node labels present in G.
+func (g *Graph) NodeLabels() []string {
+	g.mustFrozen("NodeLabels")
+	out := make([]string, 0, len(g.byLabel))
+	for id := range g.byLabel {
+		out = append(out, g.labels[id])
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *Graph) mustFrozen(op string) {
+	if !g.frozen {
+		panic("graph: " + op + " requires a frozen graph; call Freeze first")
+	}
+}

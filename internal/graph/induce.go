@@ -1,0 +1,47 @@
+package graph
+
+import "sort"
+
+// Induce builds the subgraph of g induced by the given node set: the
+// selected nodes (with their labels and attribute tuples) and every edge
+// whose endpoints are both selected. Node IDs are remapped densely in
+// ascending order of the original IDs; the mapping from old to new IDs is
+// returned alongside the frozen subgraph. Induce is how neighborhood
+// samples are materialized as standalone graphs (e.g. to ship a
+// reproduction of a generation run without the full dataset).
+func Induce(g *Graph, nodes []NodeID) (*Graph, map[NodeID]NodeID) {
+	g.mustFrozen("Induce")
+	selected := make([]NodeID, 0, len(nodes))
+	seen := make(map[NodeID]bool, len(nodes))
+	for _, v := range nodes {
+		if v >= 0 && int(v) < g.NumNodes() && !seen[v] {
+			seen[v] = true
+			selected = append(selected, v)
+		}
+	}
+	sort.Slice(selected, func(i, j int) bool { return selected[i] < selected[j] })
+	sub := New()
+	remap := make(map[NodeID]NodeID, len(selected))
+	for _, v := range selected {
+		attrs := g.Attrs(v)
+		copied := make(map[string]Value, len(attrs))
+		for k, val := range attrs {
+			copied[k] = val
+		}
+		remap[v] = sub.AddNode(g.Label(v), copied)
+	}
+	for _, v := range selected {
+		for _, e := range g.Out(v) {
+			to, ok := remap[e.To]
+			if !ok {
+				continue
+			}
+			// Endpoints are validated above; AddEdge cannot fail.
+			if err := sub.AddEdge(remap[v], to, g.LabelOf(e.Label)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	sub.Freeze()
+	return sub, remap
+}

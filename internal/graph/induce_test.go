@@ -1,0 +1,42 @@
+package graph
+
+import "testing"
+
+func TestInduce(t *testing.T) {
+	g := buildSample(t)                           // 3 persons (0,1,2), 2 orgs (3,4)
+	sub, remap := Induce(g, []NodeID{2, 0, 1, 2}) // dup + unsorted
+	if sub.NumNodes() != 3 {
+		t.Fatalf("|V| = %d", sub.NumNodes())
+	}
+	// The knows-triangle among persons survives; worksAt edges drop.
+	if sub.NumEdges() != 3 {
+		t.Fatalf("|E| = %d, want 3", sub.NumEdges())
+	}
+	for old, idx := range map[NodeID]NodeID{0: 0, 1: 1, 2: 2} {
+		if remap[old] != idx {
+			t.Errorf("remap[%d] = %d, want %d", old, remap[old], idx)
+		}
+	}
+	// Attributes are deep-copied.
+	if !sub.Attr(0, "name").Equal(Str("ann")) {
+		t.Error("attributes lost")
+	}
+	knows := sub.LookupLabel("knows")
+	if !sub.HasEdge(0, 1, knows) || !sub.HasEdge(1, 2, knows) || !sub.HasEdge(2, 0, knows) {
+		t.Error("induced edges wrong")
+	}
+	// Out-of-range and empty selections.
+	empty, _ := Induce(g, []NodeID{99, -1})
+	if empty.NumNodes() != 0 || empty.NumEdges() != 0 {
+		t.Error("out-of-range nodes should be dropped")
+	}
+	// Mixed selection keeps only internal edges.
+	mixed, remap2 := Induce(g, []NodeID{0, 3})
+	if mixed.NumEdges() != 1 { // 0 -worksAt-> 3 survives
+		t.Errorf("mixed |E| = %d", mixed.NumEdges())
+	}
+	works := mixed.LookupLabel("worksAt")
+	if !mixed.HasEdge(remap2[0], remap2[3], works) {
+		t.Error("worksAt edge lost")
+	}
+}

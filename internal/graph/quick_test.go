@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randValue is a quick-generatable Value covering every kind.
+type randValue struct{ V Value }
+
+func (randValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	var v Value
+	switch r.Intn(5) {
+	case 0:
+		v = Null
+	case 1:
+		v = Bool(r.Intn(2) == 1)
+	case 2:
+		v = Int(int64(r.Intn(2001) - 1000))
+	case 3:
+		v = Num(math.Round(r.NormFloat64()*1000) / 16) // representable fractions
+	default:
+		letters := []rune("abcxyz 123")
+		n := r.Intn(8)
+		s := make([]rune, n)
+		for i := range s {
+			s[i] = letters[r.Intn(len(letters))]
+		}
+		v = Str(string(s))
+	}
+	return reflect.ValueOf(randValue{V: v})
+}
+
+// TestQuickCompareTotalOrder: antisymmetry and transitivity over random
+// mixed-kind values.
+func TestQuickCompareTotalOrder(t *testing.T) {
+	anti := func(a, b randValue) bool {
+		x, y := a.V.Compare(b.V), b.V.Compare(a.V)
+		if x == 0 {
+			return y == 0 && a.V.Equal(b.V)
+		}
+		return (x > 0) == (y < 0)
+	}
+	if err := quick.Check(anti, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error("antisymmetry:", err)
+	}
+	trans := func(a, b, c randValue) bool {
+		if a.V.Compare(b.V) <= 0 && b.V.Compare(c.V) <= 0 {
+			return a.V.Compare(c.V) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(trans, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error("transitivity:", err)
+	}
+}
+
+// TestQuickValueStringRoundTrip: ParseValue(v.String()) returns a value
+// equal to v for non-string kinds, and a value with the same String for
+// strings that don't collide with other kinds' renderings.
+func TestQuickValueStringRoundTrip(t *testing.T) {
+	f := func(rv randValue) bool {
+		v := rv.V
+		got := ParseValue(v.String())
+		if v.Kind() == KindString {
+			if v.Text() == "" || v.Text() == "null" {
+				// "" and "null" render to the null value's forms; the DSL
+				// quotes them to preserve kind.
+				return got.IsNull()
+			}
+			// Strings that look like numbers/bools intentionally reparse
+			// as those kinds; the DSL quotes them to preserve kind.
+			return got.String() == v.String()
+		}
+		return got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOpApplyTightensConsistency: refined bindings never admit nodes
+// the relaxed binding rejected.
+func TestQuickOpApplyTightensConsistency(t *testing.T) {
+	ops := []Op{OpLT, OpLE, OpEQ, OpGE, OpGT}
+	f := func(a, b, x randValue, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		if !op.Tightens(a.V, b.V) {
+			return true
+		}
+		// x satisfies "x op b" ⇒ x satisfies "x op a".
+		if op.Apply(x.V, b.V) && !op.Apply(x.V, a.V) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null, KindNull},
+		{Num(3.5), KindNumber},
+		{Int(42), KindNumber},
+		{Str("abc"), KindString},
+		{Bool(true), KindBool},
+		{Bool(false), KindBool},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind(%v) = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+	if !Null.IsNull() {
+		t.Error("Null.IsNull() = false")
+	}
+	if Num(0).IsNull() {
+		t.Error("Num(0).IsNull() = true")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if got := Num(2.5).Float(); got != 2.5 {
+		t.Errorf("Float() = %v", got)
+	}
+	if got := Int(7).Float(); got != 7 {
+		t.Errorf("Int Float() = %v", got)
+	}
+	if got := Bool(true).Float(); got != 1 {
+		t.Errorf("Bool(true).Float() = %v", got)
+	}
+	if got := Str("x").Float(); got != 0 {
+		t.Errorf("Str Float() = %v", got)
+	}
+	if got := Str("hey").Text(); got != "hey" {
+		t.Errorf("Text() = %q", got)
+	}
+	if got := Num(1).Text(); got != "" {
+		t.Errorf("Num Text() = %q", got)
+	}
+	if !Bool(true).IsTrue() || Bool(false).IsTrue() || Num(1).IsTrue() {
+		t.Error("IsTrue misbehaves")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int // sign
+	}{
+		{Num(1), Num(2), -1},
+		{Num(2), Num(2), 0},
+		{Num(3), Num(2), 1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Null, Num(0), -1},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Num(0), -1}, // bool < number across kinds
+		{Num(999), Str(""), -1},  // number < string across kinds
+	}
+	for _, c := range cases {
+		got := c.a.Compare(c.b)
+		if sign(got) != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want sign %d", c.a, c.b, got, c.want)
+		}
+		if sign(c.b.Compare(c.a)) != -c.want {
+			t.Errorf("Compare(%v, %v) not antisymmetric", c.b, c.a)
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "null"},
+		{Int(42), "42"},
+		{Num(3.5), "3.5"},
+		{Num(-2), "-2"},
+		{Str("abc"), "abc"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	cases := []Value{Null, Int(7), Num(2.25), Str("hello"), Bool(true), Bool(false)}
+	for _, v := range cases {
+		got := ParseValue(v.String())
+		if !got.Equal(v) {
+			t.Errorf("ParseValue(%q) = %v, want %v", v.String(), got, v)
+		}
+	}
+	if got := ParseValue("12e3"); got.Kind() != KindNumber || got.Float() != 12000 {
+		t.Errorf("ParseValue(12e3) = %v", got)
+	}
+	if got := ParseValue("hello world"); got.Kind() != KindString {
+		t.Errorf("ParseValue string = %v", got)
+	}
+}
+
+func TestOpApply(t *testing.T) {
+	ops := []struct {
+		op               Op
+		lt, eq, gt, want bool // expected for left<right, =, >
+	}{
+		{OpLT, true, false, false, true},
+		{OpLE, true, true, false, true},
+		{OpEQ, false, true, false, true},
+		{OpGE, false, true, true, true},
+		{OpGT, false, false, true, true},
+	}
+	for _, c := range ops {
+		if got := c.op.Apply(Num(1), Num(2)); got != c.lt {
+			t.Errorf("%s: 1 op 2 = %v, want %v", c.op, got, c.lt)
+		}
+		if got := c.op.Apply(Num(2), Num(2)); got != c.eq {
+			t.Errorf("%s: 2 op 2 = %v, want %v", c.op, got, c.eq)
+		}
+		if got := c.op.Apply(Num(3), Num(2)); got != c.gt {
+			t.Errorf("%s: 3 op 2 = %v, want %v", c.op, got, c.gt)
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for _, s := range []string{"<", "<=", "=", ">=", ">"} {
+		op, err := ParseOp(s)
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", s, err)
+		}
+		if op.String() != s {
+			t.Errorf("ParseOp(%q).String() = %q", s, op.String())
+		}
+	}
+	if op, err := ParseOp("=="); err != nil || op != OpEQ {
+		t.Errorf("ParseOp(==) = %v, %v", op, err)
+	}
+	if _, err := ParseOp("!="); err == nil {
+		t.Error("ParseOp(!=) should fail")
+	}
+}
+
+// TestTightensSemantics verifies the refinement test against the semantics
+// of Apply: if Tightens(a→b), every x with "x op b" must satisfy "x op a".
+func TestTightensSemantics(t *testing.T) {
+	ops := []Op{OpLT, OpLE, OpEQ, OpGE, OpGT}
+	f := func(ai, bi, xi int8) bool {
+		a, b, x := Num(float64(ai)), Num(float64(bi)), Num(float64(xi))
+		for _, op := range ops {
+			if op.Tightens(a, b) && op.Apply(x, b) && !op.Apply(x, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	// Transitivity over a random mixed-kind sample.
+	vals := []Value{Null, Bool(false), Bool(true), Num(-1), Num(0), Num(math.Pi), Str(""), Str("a"), Str("z")}
+	for _, a := range vals {
+		for _, b := range vals {
+			for _, c := range vals {
+				if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+					t.Fatalf("Compare not transitive on %v, %v, %v", a, b, c)
+				}
+			}
+		}
+	}
+}

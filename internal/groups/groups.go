@@ -1,0 +1,162 @@
+// Package groups models the disjoint node groups P = {P_1..P_m} of the
+// FairSQG problem together with their per-group coverage constraints c_i,
+// and provides builders for the fairness policies the paper instantiates
+// (equal opportunity and the 80%-rule disparate-impact constraint).
+package groups
+
+import (
+	"fmt"
+	"sort"
+
+	"fairsqg/internal/graph"
+)
+
+// Group is one node group P_i with its coverage constraint c_i.
+type Group struct {
+	Name    string
+	Members map[graph.NodeID]bool
+	// Want is the coverage constraint c_i: an instance is feasible only if
+	// its answer covers at least Want members, and the coverage measure
+	// penalizes deviation from exactly Want.
+	Want int
+}
+
+// Size returns |P_i|.
+func (g *Group) Size() int { return len(g.Members) }
+
+// Set is an ordered collection of disjoint groups.
+type Set []Group
+
+// TotalWant returns C = Σ c_i.
+func (s Set) TotalWant() int {
+	c := 0
+	for i := range s {
+		c += s[i].Want
+	}
+	return c
+}
+
+// Validate checks that groups are non-empty, pairwise disjoint and that
+// each constraint satisfies 0 <= c_i <= |P_i|.
+func (s Set) Validate() error {
+	seen := make(map[graph.NodeID]string)
+	for i := range s {
+		g := &s[i]
+		if len(g.Members) == 0 {
+			return fmt.Errorf("groups: group %q is empty", g.Name)
+		}
+		if g.Want < 0 || g.Want > len(g.Members) {
+			return fmt.Errorf("groups: group %q: constraint %d outside [0,%d]", g.Name, g.Want, len(g.Members))
+		}
+		for v := range g.Members {
+			if other, dup := seen[v]; dup {
+				return fmt.Errorf("groups: node %d belongs to both %q and %q; groups must be disjoint", v, other, g.Name)
+			}
+			seen[v] = g.Name
+		}
+	}
+	return nil
+}
+
+// Count returns, for each group, |answer ∩ P_i|.
+func (s Set) Count(answer []graph.NodeID) []int {
+	counts := make([]int, len(s))
+	for _, v := range answer {
+		for i := range s {
+			if s[i].Members[v] {
+				counts[i]++
+				break // groups are disjoint
+			}
+		}
+	}
+	return counts
+}
+
+// ByAttribute partitions the nodes with the given label into one group per
+// distinct value of attr. Nodes lacking the attribute join no group. Groups
+// are returned sorted by value; constraints are left at zero.
+func ByAttribute(g *graph.Graph, label, attr string) Set {
+	byVal := map[string]map[graph.NodeID]bool{}
+	for _, v := range g.NodesByLabel(label) {
+		val := g.Attr(v, attr)
+		if val.IsNull() {
+			continue
+		}
+		key := val.String()
+		if byVal[key] == nil {
+			byVal[key] = map[graph.NodeID]bool{}
+		}
+		byVal[key][v] = true
+	}
+	names := make([]string, 0, len(byVal))
+	for k := range byVal {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	set := make(Set, 0, len(names))
+	for _, n := range names {
+		set = append(set, Group{Name: attr + "=" + n, Members: byVal[n]})
+	}
+	return set
+}
+
+// ByValues is ByAttribute restricted to the listed attribute values, in the
+// given order; values with no members are skipped.
+func ByValues(g *graph.Graph, label, attr string, values ...string) Set {
+	all := ByAttribute(g, label, attr)
+	var set Set
+	for _, want := range values {
+		for i := range all {
+			if all[i].Name == attr+"="+want {
+				set = append(set, all[i])
+			}
+		}
+	}
+	return set
+}
+
+// EqualOpportunity assigns the same constraint c to every group: the
+// "Equal Opportunity" policy of the paper. It returns the set for chaining.
+func EqualOpportunity(s Set, c int) Set {
+	for i := range s {
+		s[i].Want = c
+	}
+	return s
+}
+
+// SplitEvenly distributes a total coverage budget C evenly across the
+// groups (the paper's Fig. 9(f)/(g)/(h) setting); any remainder goes to the
+// earliest groups.
+func SplitEvenly(s Set, total int) Set {
+	if len(s) == 0 {
+		return s
+	}
+	base, rem := total/len(s), total%len(s)
+	for i := range s {
+		s[i].Want = base
+		if i < rem {
+			s[i].Want++
+		}
+	}
+	return s
+}
+
+// DisparateImpact configures constraints implementing the "80% rule": given
+// a majority-group target c, every other group must be covered with at
+// least ceil(ratio*c) nodes. majority names the majority group.
+func DisparateImpact(s Set, majority string, c int, ratio float64) (Set, error) {
+	found := false
+	minor := int(ratio*float64(c) + 0.999999)
+	for i := range s {
+		if s[i].Name == majority {
+			s[i].Want = c
+			found = true
+		} else {
+			s[i].Want = minor
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("groups: majority group %q not in set", majority)
+	}
+	return s, nil
+}

@@ -1,0 +1,125 @@
+package groups
+
+import (
+	"testing"
+
+	"fairsqg/internal/graph"
+)
+
+func genderGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	genders := []string{"male", "male", "female", "male", "female", "male"}
+	for _, gd := range genders {
+		g.AddNode("Person", map[string]graph.Value{"gender": graph.Str(gd)})
+	}
+	g.AddNode("Person", nil) // no gender: joins no group
+	g.AddNode("Org", map[string]graph.Value{"gender": graph.Str("male")})
+	g.Freeze()
+	return g
+}
+
+func TestByAttribute(t *testing.T) {
+	g := genderGraph(t)
+	set := ByAttribute(g, "Person", "gender")
+	if len(set) != 2 {
+		t.Fatalf("got %d groups", len(set))
+	}
+	// Sorted by value: female first.
+	if set[0].Name != "gender=female" || set[0].Size() != 2 {
+		t.Errorf("group 0 = %q size %d", set[0].Name, set[0].Size())
+	}
+	if set[1].Name != "gender=male" || set[1].Size() != 4 {
+		t.Errorf("group 1 = %q size %d", set[1].Name, set[1].Size())
+	}
+	// The Org node must not leak into Person groups.
+	if set[1].Members[7] {
+		t.Error("wrong-label node in group")
+	}
+}
+
+func TestByValues(t *testing.T) {
+	g := genderGraph(t)
+	set := ByValues(g, "Person", "gender", "male", "nonexistent")
+	if len(set) != 1 || set[0].Name != "gender=male" {
+		t.Errorf("ByValues = %v", set)
+	}
+}
+
+func TestEqualOpportunityAndSplit(t *testing.T) {
+	g := genderGraph(t)
+	set := EqualOpportunity(ByAttribute(g, "Person", "gender"), 2)
+	if set[0].Want != 2 || set[1].Want != 2 {
+		t.Errorf("equal opportunity wants = %d, %d", set[0].Want, set[1].Want)
+	}
+	if set.TotalWant() != 4 {
+		t.Errorf("TotalWant = %d", set.TotalWant())
+	}
+	set = SplitEvenly(set, 5)
+	if set[0].Want+set[1].Want != 5 || set[0].Want != 3 {
+		t.Errorf("SplitEvenly = %d, %d", set[0].Want, set[1].Want)
+	}
+	if s := SplitEvenly(Set{}, 5); len(s) != 0 {
+		t.Error("SplitEvenly on empty set")
+	}
+}
+
+func TestDisparateImpact(t *testing.T) {
+	g := genderGraph(t)
+	set, err := DisparateImpact(ByAttribute(g, "Person", "gender"), "gender=male", 2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var male, female int
+	for _, gr := range set {
+		if gr.Name == "gender=male" {
+			male = gr.Want
+		} else {
+			female = gr.Want
+		}
+	}
+	if male != 2 || female != 2 { // ceil(0.8*2) = 2
+		t.Errorf("80%% rule wants = male %d, female %d", male, female)
+	}
+	if _, err := DisparateImpact(set, "gender=other", 2, 0.8); err == nil {
+		t.Error("unknown majority should fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Set{
+		{Name: "a", Members: map[graph.NodeID]bool{0: true}, Want: 1},
+		{Name: "b", Members: map[graph.NodeID]bool{1: true}, Want: 0},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	bad := []Set{
+		{{Name: "empty", Members: map[graph.NodeID]bool{}}},
+		{{Name: "neg", Members: map[graph.NodeID]bool{0: true}, Want: -1}},
+		{{Name: "big", Members: map[graph.NodeID]bool{0: true}, Want: 2}},
+		{
+			{Name: "x", Members: map[graph.NodeID]bool{0: true}},
+			{Name: "y", Members: map[graph.NodeID]bool{0: true}},
+		},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad set %d accepted", i)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	set := Set{
+		{Name: "a", Members: map[graph.NodeID]bool{0: true, 1: true}},
+		{Name: "b", Members: map[graph.NodeID]bool{2: true}},
+	}
+	counts := set.Count([]graph.NodeID{0, 1, 2, 3})
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if c := set.Count(nil); c[0] != 0 || c[1] != 0 {
+		t.Errorf("empty counts = %v", c)
+	}
+}

@@ -1,0 +1,48 @@
+package match
+
+import (
+	"testing"
+
+	"fairsqg/internal/query"
+)
+
+// BenchmarkEvalOutputScratch measures from-scratch verification of a mid
+// lattice instance on a 3000-node random graph.
+func BenchmarkEvalOutputScratch(b *testing.B) {
+	g := randomGraph(b, 3000, 12000, 7)
+	tpl := randomTemplate(b, g)
+	mid := query.MustInstance(tpl, query.Instantiation{1, 1, 1, 1})
+	m := New(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EvalOutput(mid)
+	}
+}
+
+// BenchmarkEvalOutputIncremental measures incVerify: the same instance
+// verified within its parent's match set.
+func BenchmarkEvalOutputIncremental(b *testing.B) {
+	g := randomGraph(b, 3000, 12000, 7)
+	tpl := randomTemplate(b, g)
+	parent := query.MustInstance(tpl, query.Instantiation{0, 0, 1, 1})
+	mid := query.MustInstance(tpl, query.Instantiation{1, 1, 1, 1})
+	m := New(g)
+	within := m.EvalOutput(parent)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EvalOutputWithin(mid, within)
+	}
+}
+
+// BenchmarkEvalOutputNodeOnlyLarge measures the degenerate single-node
+// instance (pure label+literal scan).
+func BenchmarkEvalOutputNodeOnlyLarge(b *testing.B) {
+	g := randomGraph(b, 3000, 12000, 7)
+	tpl := randomTemplate(b, g)
+	solo := query.MustInstance(tpl, query.Instantiation{1, 1, 0, 0})
+	m := New(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EvalOutput(solo)
+	}
+}

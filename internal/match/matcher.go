@@ -1,0 +1,431 @@
+// Package match implements the subgraph-matching substrate of FairSQG:
+// given a query instance and an attributed graph it computes the output
+// node's match set q(u_o, G) under subgraph isomorphism (injective) or
+// homomorphism semantics. It supports incremental verification — when an
+// instance refines an already-verified parent, only the parent's match set
+// needs to be re-checked (Lemma 2 of the paper).
+package match
+
+import (
+	"sort"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/query"
+)
+
+// Mode selects the matching semantics.
+type Mode uint8
+
+const (
+	// Isomorphism requires the matching h to be injective on query nodes.
+	Isomorphism Mode = iota
+	// Homomorphism allows two query nodes to map to the same graph node.
+	Homomorphism
+)
+
+// Stats counts work done by the matcher; cumulative across calls.
+type Stats struct {
+	// Evals is the number of instance evaluations performed.
+	Evals int
+	// CandidatesChecked counts output-node candidates tested.
+	CandidatesChecked int
+	// BacktrackNodes counts search-tree nodes expanded.
+	BacktrackNodes int
+}
+
+// Matcher evaluates query instances against one frozen graph. A Matcher is
+// not safe for concurrent use; create one per goroutine.
+type Matcher struct {
+	G    *graph.Graph
+	Mode Mode
+	// MaxBacktrackNodes bounds the search tree expanded per output-node
+	// candidate; 0 means unbounded. When the bound trips the candidate is
+	// conservatively reported as a non-match.
+	MaxBacktrackNodes int
+
+	Stats Stats
+
+	// scratch reused across evaluations
+	used map[graph.NodeID]bool
+}
+
+// New returns a Matcher over a frozen graph with isomorphism semantics.
+func New(g *graph.Graph) *Matcher {
+	if !g.Frozen() {
+		panic("match: graph must be frozen")
+	}
+	return &Matcher{G: g, used: make(map[graph.NodeID]bool)}
+}
+
+// plan is the per-instance evaluation plan: active structure, candidate
+// sets and a matching order rooted at the output node.
+type plan struct {
+	q         *query.Instance
+	nodes     []int        // active template nodes
+	nodePos   map[int]int  // template node -> index in nodes
+	adj       [][]planEdge // per active-node adjacency over active edges
+	order     []int        // matching order (indices into nodes), order[0] = output
+	cands     [][]graph.NodeID
+	candSet   []map[graph.NodeID]bool
+	edgeCount int
+}
+
+// planEdge is one incident active edge from the perspective of a node.
+type planEdge struct {
+	other    int // index into plan.nodes
+	label    graph.LabelID
+	outgoing bool // true when the edge leaves this node
+}
+
+// EvalOutput computes q(G) = q(u_o, G): the distinct graph nodes the output
+// node matches to. The result is sorted.
+func (m *Matcher) EvalOutput(q *query.Instance) []graph.NodeID {
+	return m.EvalOutputWithin(q, nil)
+}
+
+// EvalOutputWithin is EvalOutput restricted to output-node candidates drawn
+// from within (nil means all nodes with the output label). Passing the
+// verified parent's match set implements the paper's incVerify: a refined
+// instance's matches are a subset of its parent's.
+func (m *Matcher) EvalOutputWithin(q *query.Instance, within []graph.NodeID) []graph.NodeID {
+	matches, _ := m.EvalOutputFiltered(q, within, nil)
+	return matches
+}
+
+// EvalOutputFiltered is EvalOutputWithin with an admission check: after the
+// cheap candidate-filtering phase, accept is offered the arc-consistent
+// candidate superset of q(u_o, G). When accept returns false the expensive
+// backtracking phase is skipped and ok is false — the caller learned the
+// instance cannot meet its requirements (any monotone predicate over
+// candidate supersets, e.g. coverage upper bounds, is sound here). A nil
+// accept admits everything.
+func (m *Matcher) EvalOutputFiltered(q *query.Instance, within []graph.NodeID,
+	accept func(candidates []graph.NodeID) bool) (matches []graph.NodeID, ok bool) {
+	return m.EvalNodeFiltered(q, q.T.Output, within, accept)
+}
+
+// EvalNode computes q(u, G) for an arbitrary template node: the graph
+// nodes u maps to across all matchings. An inactive node (projected out of
+// the output component) has no matches.
+func (m *Matcher) EvalNode(q *query.Instance, node int) []graph.NodeID {
+	matches, _ := m.EvalNodeFiltered(q, node, nil, nil)
+	return matches
+}
+
+// EvalNodeFiltered generalizes EvalOutputFiltered to any template node:
+// within restricts that node's candidates (a verified parent's match set
+// for the same node is a valid superset under refinement), and accept sees
+// the node's arc-consistent candidates.
+func (m *Matcher) EvalNodeFiltered(q *query.Instance, node int, within []graph.NodeID,
+	accept func(candidates []graph.NodeID) bool) (matches []graph.NodeID, ok bool) {
+	m.Stats.Evals++
+	if !q.NodeActive(node) {
+		return nil, true
+	}
+	p := m.buildPlan(q, node, within)
+	if p == nil {
+		return nil, true
+	}
+	rootIdx := p.nodePos[node]
+	rootCands := p.cands[rootIdx]
+	if accept != nil && !accept(rootCands) {
+		return nil, false
+	}
+	if len(p.nodes) == 1 {
+		// The instance collapsed to this node alone: every candidate is a
+		// match.
+		res := make([]graph.NodeID, len(rootCands))
+		copy(res, rootCands)
+		sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+		return res, true
+	}
+	var result []graph.NodeID
+	for _, v := range rootCands {
+		m.Stats.CandidatesChecked++
+		if m.embedFrom(p, v) {
+			result = append(result, v)
+		}
+	}
+	sort.Slice(result, func(i, j int) bool { return result[i] < result[j] })
+	return result, true
+}
+
+// buildPlan computes candidate sets with label/literal filtering plus
+// arc-consistency pruning, and a connectivity-first matching order rooted
+// at pin (the node whose matches are being computed). It returns nil when
+// some active node has no candidates (empty q(G)).
+func (m *Matcher) buildPlan(q *query.Instance, pin int, within []graph.NodeID) *plan {
+	t := q.T
+	p := &plan{q: q, nodes: q.ActiveNodes(), nodePos: make(map[int]int)}
+	for i, ni := range p.nodes {
+		p.nodePos[ni] = i
+	}
+	p.adj = make([][]planEdge, len(p.nodes))
+	for _, ei := range q.ActiveEdges() {
+		e := &t.Edges[ei]
+		fi, ti := p.nodePos[e.From], p.nodePos[e.To]
+		label := m.G.LookupLabel(e.Label)
+		if label == graph.InvalidLabel {
+			// The edge label never occurs in G: no embedding exists.
+			return nil
+		}
+		p.adj[fi] = append(p.adj[fi], planEdge{other: ti, label: label, outgoing: true})
+		p.adj[ti] = append(p.adj[ti], planEdge{other: fi, label: label, outgoing: false})
+		p.edgeCount++
+	}
+	p.cands = make([][]graph.NodeID, len(p.nodes))
+	p.candSet = make([]map[graph.NodeID]bool, len(p.nodes))
+	pinIdx := p.nodePos[pin]
+	for i, ni := range p.nodes {
+		var base []graph.NodeID
+		if i == pinIdx && within != nil {
+			base = within
+		} else {
+			base = m.G.NodesByLabel(t.Nodes[ni].Label)
+		}
+		lits := q.BoundLiterals(ni)
+		cands := make([]graph.NodeID, 0, len(base))
+		for _, v := range base {
+			if i == pinIdx && within != nil && m.G.Label(v) != t.Nodes[ni].Label {
+				continue
+			}
+			if nodeSatisfies(m.G, v, lits) {
+				cands = append(cands, v)
+			}
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		p.cands[i] = cands
+	}
+	if !m.propagate(p) {
+		return nil
+	}
+	p.order = matchingOrder(p, pinIdx)
+	return p
+}
+
+// nodeSatisfies checks all bound literals of a template node against v.
+func nodeSatisfies(g *graph.Graph, v graph.NodeID, lits []query.BoundLiteral) bool {
+	for _, l := range lits {
+		if !l.Matches(g, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// propagate runs arc-consistency over candidate sets: a candidate of u
+// survives only if every incident active edge can be matched by some
+// candidate of the neighbor. Iterates to fixpoint. Returns false when a
+// candidate set empties.
+func (m *Matcher) propagate(p *plan) bool {
+	for i := range p.cands {
+		set := make(map[graph.NodeID]bool, len(p.cands[i]))
+		for _, v := range p.cands[i] {
+			set[v] = true
+		}
+		p.candSet[i] = set
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := range p.nodes {
+			if len(p.adj[i]) == 0 {
+				continue
+			}
+			kept := p.cands[i][:0]
+			for _, v := range p.cands[i] {
+				ok := true
+				for _, pe := range p.adj[i] {
+					if !hasNeighborIn(m.G, v, pe, p.candSet[pe.other]) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					kept = append(kept, v)
+				} else {
+					delete(p.candSet[i], v)
+					changed = true
+				}
+			}
+			p.cands[i] = kept
+			if len(kept) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hasNeighborIn reports whether v has an edge matching pe whose endpoint
+// lies in allowed.
+func hasNeighborIn(g *graph.Graph, v graph.NodeID, pe planEdge, allowed map[graph.NodeID]bool) bool {
+	var es []graph.Edge
+	if pe.outgoing {
+		es = g.Out(v)
+	} else {
+		es = g.In(v)
+	}
+	for _, e := range es {
+		if e.Label == pe.label && allowed[e.To] {
+			return true
+		}
+	}
+	return false
+}
+
+// matchingOrder returns a connectivity-first order starting at the output
+// node: each subsequent node is adjacent to an already-ordered node and has
+// the smallest candidate set among the frontier (fail-first heuristic).
+// Active instances are connected by construction, so the order covers all
+// active nodes.
+func matchingOrder(p *plan, outIdx int) []int {
+	n := len(p.nodes)
+	order := make([]int, 0, n)
+	placed := make([]bool, n)
+	order = append(order, outIdx)
+	placed[outIdx] = true
+	for len(order) < n {
+		best, bestSize := -1, int(^uint(0)>>1)
+		for _, oi := range order {
+			for _, pe := range p.adj[oi] {
+				if placed[pe.other] {
+					continue
+				}
+				if s := len(p.cands[pe.other]); s < bestSize {
+					best, bestSize = pe.other, s
+				}
+			}
+		}
+		if best < 0 {
+			// Disconnected remainder; should not happen for projected
+			// instances, but fall back to any unplaced node.
+			for i := 0; i < n; i++ {
+				if !placed[i] {
+					best = i
+					break
+				}
+			}
+		}
+		order = append(order, best)
+		placed[best] = true
+	}
+	return order
+}
+
+// embedFrom checks whether a full matching exists with the output node
+// pinned to v.
+func (m *Matcher) embedFrom(p *plan, v graph.NodeID) bool {
+	assign := make([]graph.NodeID, len(p.nodes))
+	for i := range assign {
+		assign[i] = graph.InvalidNode
+	}
+	for k := range m.used {
+		delete(m.used, k)
+	}
+	assign[p.order[0]] = v
+	if m.Mode == Isomorphism {
+		m.used[v] = true
+	}
+	budget := m.MaxBacktrackNodes
+	ok, _ := m.extend(p, assign, 1, budget)
+	return ok
+}
+
+// extend recursively assigns p.order[depth:]; it returns (found, remaining
+// budget). A zero starting budget means unbounded.
+func (m *Matcher) extend(p *plan, assign []graph.NodeID, depth, budget int) (bool, int) {
+	if depth == len(p.order) {
+		return true, budget
+	}
+	ui := p.order[depth]
+	m.Stats.BacktrackNodes++
+	if budget != 0 {
+		budget--
+		if budget == 0 {
+			return false, 0
+		}
+	}
+	// Pick the assigned neighbor whose adjacency is cheapest to scan.
+	var pivot graph.NodeID = graph.InvalidNode
+	var pivotEdge planEdge
+	for _, pe := range p.adj[ui] {
+		if w := assign[pe.other]; w != graph.InvalidNode {
+			pivot = w
+			// The stored edge is from ui's perspective; flip it to pivot's.
+			pivotEdge = planEdge{other: ui, label: pe.label, outgoing: !pe.outgoing}
+			break
+		}
+	}
+	try := func(v graph.NodeID) (bool, int) {
+		if !p.candSet[ui][v] {
+			return false, budget
+		}
+		if m.Mode == Isomorphism && m.used[v] {
+			return false, budget
+		}
+		if !m.consistent(p, assign, ui, v) {
+			return false, budget
+		}
+		assign[ui] = v
+		if m.Mode == Isomorphism {
+			m.used[v] = true
+		}
+		found, rem := m.extend(p, assign, depth+1, budget)
+		budget = rem
+		assign[ui] = graph.InvalidNode
+		if m.Mode == Isomorphism {
+			delete(m.used, v)
+		}
+		return found, budget
+	}
+	if pivot != graph.InvalidNode {
+		var es []graph.Edge
+		if pivotEdge.outgoing {
+			es = m.G.Out(pivot)
+		} else {
+			es = m.G.In(pivot)
+		}
+		for _, e := range es {
+			if e.Label != pivotEdge.label {
+				continue
+			}
+			if found, rem := try(e.To); found {
+				return true, rem
+			} else if budget = rem; budget == 0 && m.MaxBacktrackNodes != 0 {
+				return false, 0
+			}
+		}
+		return false, budget
+	}
+	for _, v := range p.cands[ui] {
+		if found, rem := try(v); found {
+			return true, rem
+		} else if budget = rem; budget == 0 && m.MaxBacktrackNodes != 0 {
+			return false, 0
+		}
+	}
+	return false, budget
+}
+
+// consistent checks every active edge between ui and already-assigned nodes.
+func (m *Matcher) consistent(p *plan, assign []graph.NodeID, ui int, v graph.NodeID) bool {
+	for _, pe := range p.adj[ui] {
+		w := assign[pe.other]
+		if w == graph.InvalidNode {
+			continue
+		}
+		if pe.outgoing {
+			if !m.G.HasEdge(v, w, pe.label) {
+				return false
+			}
+		} else {
+			if !m.G.HasEdge(w, v, pe.label) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,319 @@
+package match
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/query"
+)
+
+// talentGraph builds a small professional network with known matches.
+//
+//	directors: d1 (id 0), d2 (id 1)
+//	users:     a (id 2, exp 12), b (id 3, exp 4)
+//	orgs:      big (id 4, 2000 employees), small (id 5, 50)
+//	edges:     a recommend d1, a recommend d2, b recommend d2,
+//	           a worksAt big, b worksAt small
+func talentGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	d1 := g.AddNode("Person", map[string]graph.Value{"title": graph.Str("Director"), "name": graph.Str("dee")})
+	d2 := g.AddNode("Person", map[string]graph.Value{"title": graph.Str("Director"), "name": graph.Str("dan")})
+	a := g.AddNode("Person", map[string]graph.Value{"title": graph.Str("Engineer"), "yearsOfExp": graph.Int(12)})
+	b := g.AddNode("Person", map[string]graph.Value{"title": graph.Str("Engineer"), "yearsOfExp": graph.Int(4)})
+	big := g.AddNode("Org", map[string]graph.Value{"employees": graph.Int(2000)})
+	small := g.AddNode("Org", map[string]graph.Value{"employees": graph.Int(50)})
+	for _, e := range []struct {
+		from, to graph.NodeID
+		label    string
+	}{
+		{a, d1, "recommend"}, {a, d2, "recommend"}, {b, d2, "recommend"},
+		{a, big, "worksAt"}, {b, small, "worksAt"},
+	} {
+		if err := g.AddEdge(e.from, e.to, e.label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+// talentTpl is a template over talentGraph: directors recommended by a user
+// with parameterized experience who works at a parameterized-size org; the
+// recommend edge carries an edge variable.
+func talentTpl(t testing.TB) *query.Template {
+	t.Helper()
+	tpl, err := query.NewBuilder("talent").
+		Node("u_o", "Person").Literal("u_o", "title", graph.OpEQ, graph.Str("Director")).
+		Node("u1", "Person").RangeVar("x1", "u1", "yearsOfExp", graph.OpGE).
+		Node("o", "Org").RangeVar("x2", "o", "employees", graph.OpGE).
+		VarEdge("e1", "u1", "u_o", "recommend").
+		Edge("u1", "o", "worksAt").
+		Output("u_o").
+		SetLadder("x1", graph.Int(4), graph.Int(12)).
+		SetLadder("x2", graph.Int(50), graph.Int(2000)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tpl
+}
+
+func ids(vs ...int) []graph.NodeID {
+	out := make([]graph.NodeID, len(vs))
+	for i, v := range vs {
+		out[i] = graph.NodeID(v)
+	}
+	return out
+}
+
+func TestEvalOutputNodeOnly(t *testing.T) {
+	g := talentGraph(t)
+	tpl := talentTpl(t)
+	m := New(g)
+	// Edge variable off: instance collapses to the output node alone —
+	// every director matches.
+	q := query.MustInstance(tpl, query.Instantiation{query.Wildcard, query.Wildcard, 0})
+	got := m.EvalOutput(q)
+	if !reflect.DeepEqual(got, ids(0, 1)) {
+		t.Errorf("q(G) = %v, want [0 1]", got)
+	}
+}
+
+func TestEvalOutputFullPattern(t *testing.T) {
+	g := talentGraph(t)
+	tpl := talentTpl(t)
+	m := New(g)
+	cases := []struct {
+		name string
+		in   query.Instantiation
+		want []graph.NodeID
+	}{
+		// exp >= 4, employees >= 50: both recommenders qualify; d1 and d2.
+		{"relaxed", query.Instantiation{0, 0, 1}, ids(0, 1)},
+		// exp >= 12: only user a qualifies; a recommends both.
+		{"exp12", query.Instantiation{1, 0, 1}, ids(0, 1)},
+		// employees >= 2000: only a (works at big); both directors.
+		{"bigorg", query.Instantiation{0, 1, 1}, ids(0, 1)},
+		// exp >= 12 AND employees >= 2000: a only; both directors.
+		{"both", query.Instantiation{1, 1, 1}, ids(0, 1)},
+		// wildcards with edge on: same as relaxed.
+		{"wild", query.Instantiation{query.Wildcard, query.Wildcard, 1}, ids(0, 1)},
+	}
+	for _, c := range cases {
+		q := query.MustInstance(tpl, c.in)
+		if got := m.EvalOutput(q); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: q(G) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEvalOutputSelectiveRecommender(t *testing.T) {
+	g := talentGraph(t)
+	// Template without the org branch: u1 --recommend--> u_o only.
+	tpl, err := query.NewBuilder("rec").
+		Node("u_o", "Person").Literal("u_o", "title", graph.OpEQ, graph.Str("Director")).
+		Node("u1", "Person").RangeVar("x1", "u1", "yearsOfExp", graph.OpGE).
+		Edge("u1", "u_o", "recommend").
+		Output("u_o").
+		SetLadder("x1", graph.Int(4), graph.Int(12)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(g)
+	// exp >= 12: only a recommends → d1, d2.
+	q := query.MustInstance(tpl, query.Instantiation{1})
+	if got := m.EvalOutput(q); !reflect.DeepEqual(got, ids(0, 1)) {
+		t.Errorf("exp>=12: %v", got)
+	}
+	// Make it harder: d1 is only recommended by a.
+	// exp >= 4 gives both directors too; check a label-mismatch literal.
+	tpl2, err := query.NewBuilder("rec2").
+		Node("u_o", "Person").Literal("u_o", "title", graph.OpEQ, graph.Str("Director")).
+		Node("u1", "Person").Literal("u1", "yearsOfExp", graph.OpLE, graph.Int(4)).
+		Edge("u1", "u_o", "recommend").
+		Output("u_o").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only b has exp <= 4; b recommends d2 only.
+	q2 := query.MustInstance(tpl2, query.Instantiation{})
+	if got := m.EvalOutput(q2); !reflect.DeepEqual(got, ids(1)) {
+		t.Errorf("exp<=4: %v, want [1]", got)
+	}
+}
+
+func TestEvalOutputWithin(t *testing.T) {
+	g := talentGraph(t)
+	tpl := talentTpl(t)
+	m := New(g)
+	q := query.MustInstance(tpl, query.Instantiation{0, 0, 1})
+	full := m.EvalOutput(q)
+	within := m.EvalOutputWithin(q, full)
+	if !reflect.DeepEqual(full, within) {
+		t.Errorf("within(full) = %v, want %v", within, full)
+	}
+	// Restricting to a subset yields the subset's members only.
+	sub := m.EvalOutputWithin(q, ids(1))
+	if !reflect.DeepEqual(sub, ids(1)) {
+		t.Errorf("within([1]) = %v", sub)
+	}
+	// Restricting to a non-matching node yields nothing.
+	if got := m.EvalOutputWithin(q, ids(3)); got != nil {
+		t.Errorf("within([3]) = %v, want nil", got)
+	}
+}
+
+func TestIsomorphismVsHomomorphism(t *testing.T) {
+	// Triangle pattern requiring two distinct recommenders of one node.
+	g := graph.New()
+	d := g.AddNode("Person", map[string]graph.Value{"title": graph.Str("Director")})
+	a := g.AddNode("Person", nil)
+	if err := g.AddEdge(a, d, "recommend"); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	tpl, err := query.NewBuilder("two").
+		Node("u_o", "Person").Literal("u_o", "title", graph.OpEQ, graph.Str("Director")).
+		Node("u1", "Person").
+		Node("u2", "Person").
+		Edge("u1", "u_o", "recommend").
+		Edge("u2", "u_o", "recommend").
+		Output("u_o").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.MustInstance(tpl, query.Instantiation{})
+	iso := New(g)
+	if got := iso.EvalOutput(q); got != nil {
+		t.Errorf("isomorphism: %v, want nil (only one recommender exists)", got)
+	}
+	hom := New(g)
+	hom.Mode = Homomorphism
+	if got := hom.EvalOutput(q); !reflect.DeepEqual(got, ids(0)) {
+		t.Errorf("homomorphism: %v, want [0]", got)
+	}
+}
+
+func TestEdgeLabelNeverInGraph(t *testing.T) {
+	g := talentGraph(t)
+	tpl, err := query.NewBuilder("none").
+		Node("u_o", "Person").
+		Node("u1", "Person").
+		Edge("u1", "u_o", "mentors"). // label absent from G
+		Output("u_o").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(g)
+	if got := m.EvalOutput(query.MustInstance(tpl, query.Instantiation{})); got != nil {
+		t.Errorf("unknown edge label: %v, want nil", got)
+	}
+}
+
+func TestMatcherStats(t *testing.T) {
+	g := talentGraph(t)
+	tpl := talentTpl(t)
+	m := New(g)
+	q := query.MustInstance(tpl, query.Instantiation{0, 0, 1})
+	m.EvalOutput(q)
+	if m.Stats.Evals != 1 || m.Stats.CandidatesChecked == 0 {
+		t.Errorf("stats = %+v", m.Stats)
+	}
+}
+
+func TestNewRequiresFrozen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New on unfrozen graph should panic")
+		}
+	}()
+	New(graph.New())
+}
+
+// TestIncrementalEqualsScratch is the incVerify correctness property: for
+// random refinement chains, evaluating a child restricted to its parent's
+// match set equals evaluating it from scratch.
+func TestIncrementalEqualsScratch(t *testing.T) {
+	g := randomGraph(t, 300, 900, 42)
+	tpl := randomTemplate(t, g)
+	m := New(g)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		in := query.Root(tpl)
+		parentMatches := m.EvalOutput(query.MustInstance(tpl, in))
+		for step := 0; step < 6; step++ {
+			kids := query.RefineSteps(tpl, in)
+			if len(kids) == 0 {
+				break
+			}
+			in = kids[rng.Intn(len(kids))]
+			q := query.MustInstance(tpl, in)
+			scratch := m.EvalOutput(q)
+			inc := m.EvalOutputWithin(q, parentMatches)
+			if !reflect.DeepEqual(scratch, inc) {
+				t.Fatalf("trial %d step %d: scratch %v != incremental %v for %s",
+					trial, step, scratch, inc, q)
+			}
+			// Lemma 2: matches shrink along refinement.
+			if len(scratch) > len(parentMatches) {
+				t.Fatalf("refinement grew the match set: %d > %d", len(scratch), len(parentMatches))
+			}
+			parentMatches = scratch
+		}
+	}
+}
+
+// randomGraph builds a random two-label graph with numeric attributes.
+func randomGraph(t testing.TB, nodes, edges int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < nodes; i++ {
+		label := "Person"
+		attrs := map[string]graph.Value{"yearsOfExp": graph.Int(int64(rng.Intn(20)))}
+		if i%5 == 0 {
+			label = "Org"
+			attrs = map[string]graph.Value{"employees": graph.Int(int64(10 + rng.Intn(5000)))}
+		}
+		g.AddNode(label, attrs)
+	}
+	for i := 0; i < edges; i++ {
+		from := graph.NodeID(rng.Intn(nodes))
+		to := graph.NodeID(rng.Intn(nodes))
+		label := "recommend"
+		if g.Label(to) == "Org" {
+			label = "worksAt"
+		} else if g.Label(from) == "Org" {
+			label = "employs"
+		}
+		if from != to {
+			if err := g.AddEdge(from, to, label); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+func randomTemplate(t testing.TB, g *graph.Graph) *query.Template {
+	t.Helper()
+	tpl, err := query.NewBuilder("rand").
+		Node("u_o", "Person").
+		Node("u1", "Person").RangeVar("x1", "u1", "yearsOfExp", graph.OpGE).
+		Node("o", "Org").RangeVar("x2", "o", "employees", graph.OpGE).
+		VarEdge("e1", "u1", "u_o", "recommend").
+		VarEdge("e2", "u1", "o", "worksAt").
+		Output("u_o").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.BindDomains(g, query.DomainOptions{MaxValues: 6}); err != nil {
+		t.Fatal(err)
+	}
+	return tpl
+}

@@ -1,0 +1,169 @@
+package match
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/query"
+)
+
+// bruteForceOutput computes q(u_o, G) by enumerating every assignment of
+// active template nodes to graph nodes — the obviously correct oracle the
+// production matcher is checked against on small inputs.
+func bruteForceOutput(g *graph.Graph, q *query.Instance, mode Mode) []graph.NodeID {
+	active := q.ActiveNodes()
+	t := q.T
+	n := g.NumNodes()
+	assign := make(map[int]graph.NodeID, len(active))
+	found := map[graph.NodeID]bool{}
+
+	valid := func() bool {
+		// Labels and literals.
+		for _, ni := range active {
+			v := assign[ni]
+			if g.Label(v) != t.Nodes[ni].Label {
+				return false
+			}
+			for _, l := range q.BoundLiterals(ni) {
+				if !l.Matches(g, v) {
+					return false
+				}
+			}
+		}
+		// Injectivity.
+		if mode == Isomorphism {
+			seen := map[graph.NodeID]bool{}
+			for _, ni := range active {
+				if seen[assign[ni]] {
+					return false
+				}
+				seen[assign[ni]] = true
+			}
+		}
+		// Edges.
+		for _, ei := range q.ActiveEdges() {
+			e := t.Edges[ei]
+			label := g.LookupLabel(e.Label)
+			if label == graph.InvalidLabel || !g.HasEdge(assign[e.From], assign[e.To], label) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(active) {
+			if valid() {
+				found[assign[t.Output]] = true
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			assign[active[i]] = graph.NodeID(v)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	out := make([]graph.NodeID, 0, len(found))
+	for v := range found {
+		out = append(out, v)
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+func sortNodeIDs(vs []graph.NodeID) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// tinyRandomGraph builds graphs small enough for brute force (≤ 9 nodes).
+func tinyRandomGraph(rng *rand.Rand) *graph.Graph {
+	g := graph.New()
+	n := 5 + rng.Intn(4)
+	labels := []string{"A", "B"}
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[rng.Intn(2)], map[string]graph.Value{
+			"x": graph.Int(int64(rng.Intn(4))),
+		})
+	}
+	edgeLabels := []string{"r", "s"}
+	for e := 0; e < n*2; e++ {
+		from := graph.NodeID(rng.Intn(n))
+		to := graph.NodeID(rng.Intn(n))
+		if from != to {
+			_ = g.AddEdge(from, to, edgeLabels[rng.Intn(2)])
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+// tinyRandomTemplate builds 2-3 node templates over the tiny schema.
+func tinyRandomTemplate(rng *rand.Rand) *query.Template {
+	b := query.NewBuilder("tiny")
+	labels := []string{"A", "B"}
+	b.Node("o", labels[rng.Intn(2)])
+	b.Node("p", labels[rng.Intn(2)])
+	edgeLabels := []string{"r", "s"}
+	if rng.Intn(2) == 0 {
+		b.Edge("p", "o", edgeLabels[rng.Intn(2)])
+	} else {
+		b.VarEdge("e", "p", "o", edgeLabels[rng.Intn(2)])
+	}
+	if rng.Intn(2) == 0 {
+		b.Node("q", labels[rng.Intn(2)])
+		b.Edge("o", "q", edgeLabels[rng.Intn(2)])
+	}
+	ops := []graph.Op{graph.OpGE, graph.OpLE, graph.OpEQ}
+	b.RangeVar("x", "p", "x", ops[rng.Intn(len(ops))])
+	b.Output("o")
+	tpl, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return tpl
+}
+
+// TestMatcherAgainstBruteForce fuzzes the production matcher against the
+// exhaustive oracle over random tiny graphs, templates and instantiations,
+// in both matching modes.
+func TestMatcherAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 250; trial++ {
+		g := tinyRandomGraph(rng)
+		tpl := tinyRandomTemplate(rng)
+		if err := tpl.BindDomains(g, query.DomainOptions{}); err != nil {
+			continue // label/attr combination absent in this tiny graph
+		}
+		in := make(query.Instantiation, len(tpl.Vars))
+		for vi := range tpl.Vars {
+			v := &tpl.Vars[vi]
+			if v.Kind == query.EdgeVar {
+				in[vi] = rng.Intn(2)
+			} else {
+				in[vi] = rng.Intn(len(v.Ladder)+1) - 1
+			}
+		}
+		q := query.MustInstance(tpl, in)
+		for _, mode := range []Mode{Isomorphism, Homomorphism} {
+			m := New(g)
+			m.Mode = mode
+			got := m.EvalOutput(q)
+			want := bruteForceOutput(g, q, mode)
+			if len(want) == 0 {
+				want = nil
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d mode %d:\ninstance %s\ngot  %v\nwant %v\ngraph: %d nodes",
+					trial, mode, q, got, want, g.NumNodes())
+			}
+		}
+	}
+}

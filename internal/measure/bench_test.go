@@ -1,0 +1,66 @@
+package measure
+
+import (
+	"testing"
+
+	"fairsqg/internal/graph"
+)
+
+func benchGraph(b *testing.B, n int) (*graph.Graph, []graph.NodeID) {
+	b.Helper()
+	g := graph.New()
+	majors := []string{"cs", "math", "bio", "econ", "art", "law", "med", "phys"}
+	ids := make([]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.AddNode("P", map[string]graph.Value{
+			"major": graph.Str(majors[i%len(majors)]),
+			"exp":   graph.Int(int64(i % 30)),
+		})
+	}
+	g.Freeze()
+	return g, ids
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Levenshtein("machine-learning", "networking-theory")
+	}
+}
+
+func BenchmarkTupleDistance(b *testing.B) {
+	g, ids := benchGraph(b, 1000)
+	d := TupleDistance(g, []string{"major", "exp"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d(ids[i%1000], ids[(i*7)%1000])
+	}
+}
+
+func BenchmarkDiversityExact(b *testing.B) {
+	g, ids := benchGraph(b, 400)
+	div := &Diversity{
+		Lambda:          0.5,
+		Relevance:       ConstantRelevance(1),
+		Distance:        TupleDistance(g, []string{"major", "exp"}),
+		LabelPopulation: 400,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		div.Eval(ids)
+	}
+}
+
+func BenchmarkDiversitySampled(b *testing.B) {
+	g, ids := benchGraph(b, 400)
+	div := &Diversity{
+		Lambda:          0.5,
+		Relevance:       ConstantRelevance(1),
+		Distance:        TupleDistance(g, []string{"major", "exp"}),
+		LabelPopulation: 400,
+		MaxPairs:        5000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		div.Eval(ids)
+	}
+}

@@ -1,0 +1,45 @@
+package measure
+
+import (
+	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
+)
+
+// Coverage evaluates the group-coverage quality
+//
+//	f(q, P) = C − Σ_i | |q(G) ∩ P_i| − c_i |,   C = Σ_i c_i
+//
+// clamped at 0, so f ∈ [0, C]. Larger is better: f = C means the answer
+// covers every group with exactly the desired cardinality.
+func Coverage(set groups.Set, answer []graph.NodeID) float64 {
+	c := set.TotalWant()
+	counts := set.Count(answer)
+	penalty := 0
+	for i := range set {
+		d := counts[i] - set[i].Want
+		if d < 0 {
+			d = -d
+		}
+		penalty += d
+	}
+	f := c - penalty
+	if f < 0 {
+		f = 0
+	}
+	return float64(f)
+}
+
+// Feasible reports whether the answer satisfies every coverage constraint:
+// |q(G) ∩ P_i| ≥ c_i for all i (Section III-A).
+func Feasible(set groups.Set, answer []graph.NodeID) bool {
+	counts := set.Count(answer)
+	for i := range set {
+		if counts[i] < set[i].Want {
+			return false
+		}
+	}
+	return true
+}
+
+// CoverageMax returns the upper bound C = Σ c_i of the coverage measure.
+func CoverageMax(set groups.Set) float64 { return float64(set.TotalWant()) }

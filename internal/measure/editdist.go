@@ -1,0 +1,60 @@
+// Package measure implements the two FairSQG quality measures: the max-sum
+// answer diversity δ(q, G) with pluggable relevance and pairwise-distance
+// functions, and the group-coverage penalty f(q, P).
+package measure
+
+// Levenshtein returns the edit distance between a and b using a two-row
+// dynamic program.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// NormalizedLevenshtein returns Levenshtein(a,b) divided by the longer
+// length, in [0,1]; two empty strings have distance 0.
+func NormalizedLevenshtein(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	m := la
+	if lb > m {
+		m = lb
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(Levenshtein(a, b)) / float64(m)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,226 @@
+package measure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"日本語", "日本", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Levenshtein(c.b, c.a); got != c.want {
+			t.Errorf("Levenshtein not symmetric on (%q, %q)", c.a, c.b)
+		}
+	}
+}
+
+func TestNormalizedLevenshtein(t *testing.T) {
+	if got := NormalizedLevenshtein("", ""); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := NormalizedLevenshtein("abc", "xyz"); got != 1 {
+		t.Errorf("disjoint = %v", got)
+	}
+	f := func(a, b string) bool {
+		d := NormalizedLevenshtein(a, b)
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// measureGraph builds nodes with attributes for distance tests.
+func measureGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	g.AddNode("P", map[string]graph.Value{"major": graph.Str("math"), "exp": graph.Int(0)})
+	g.AddNode("P", map[string]graph.Value{"major": graph.Str("math"), "exp": graph.Int(10)})
+	g.AddNode("P", map[string]graph.Value{"major": graph.Str("bio"), "exp": graph.Int(20)})
+	g.AddNode("P", map[string]graph.Value{"major": graph.Str("art")}) // exp missing
+	_ = g.AddEdge(0, 1, "knows")
+	_ = g.AddEdge(2, 1, "knows")
+	g.Freeze()
+	return g
+}
+
+func TestTupleDistance(t *testing.T) {
+	g := measureGraph(t)
+	d := TupleDistance(g, []string{"major", "exp"})
+	// Identical tuples.
+	if got := d(0, 0); got != 0 {
+		t.Errorf("d(0,0) = %v", got)
+	}
+	// Same major, exp differs by 10 of span 20 → (0 + 0.5)/2 = 0.25.
+	if got := d(0, 1); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("d(0,1) = %v, want 0.25", got)
+	}
+	// Missing vs present numeric counts as 1.
+	if got := d(0, 3); got <= 0.5 {
+		t.Errorf("d(0,3) = %v, want > 0.5 (missing attr + different major)", got)
+	}
+	// Symmetry and range over all pairs.
+	for i := graph.NodeID(0); i < 4; i++ {
+		for j := graph.NodeID(0); j < 4; j++ {
+			dij, dji := d(i, j), d(j, i)
+			if dij != dji {
+				t.Errorf("asymmetric d(%d,%d)", i, j)
+			}
+			if dij < 0 || dij > 1 {
+				t.Errorf("d(%d,%d) = %v out of [0,1]", i, j, dij)
+			}
+		}
+	}
+}
+
+func TestDegreeRelevance(t *testing.T) {
+	g := measureGraph(t)
+	r := DegreeRelevance(g, "P")
+	// Node 1 has the max degree (2), so relevance 1.
+	if got := r(1); got != 1 {
+		t.Errorf("r(1) = %v", got)
+	}
+	if got := r(3); got != 0 {
+		t.Errorf("r(3) = %v (isolated)", got)
+	}
+	// A label with no edges falls back to constant 1.
+	g2 := graph.New()
+	g2.AddNode("X", nil)
+	g2.Freeze()
+	if got := DegreeRelevance(g2, "X")(0); got != 1 {
+		t.Errorf("isolated label relevance = %v", got)
+	}
+}
+
+func TestDiversityEval(t *testing.T) {
+	g := measureGraph(t)
+	div := &Diversity{
+		Lambda:          0.5,
+		Relevance:       ConstantRelevance(1),
+		Distance:        TupleDistance(g, []string{"major", "exp"}),
+		LabelPopulation: 4,
+	}
+	// Empty set → 0.
+	if got := div.Eval(nil); got != 0 {
+		t.Errorf("δ(∅) = %v", got)
+	}
+	// Single match: only the relevance term, (1-λ)·1 = 0.5.
+	if got := div.Eval([]graph.NodeID{0}); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("δ({0}) = %v, want 0.5", got)
+	}
+	// Two matches: (1-λ)·2 + 2λ/(4-1)·d(0,1) = 1 + (1/3)·0.25.
+	want := 1 + 0.25/3
+	if got := div.Eval([]graph.NodeID{0, 1}); math.Abs(got-want) > 1e-9 {
+		t.Errorf("δ({0,1}) = %v, want %v", got, want)
+	}
+	// Bounded by |V_uo|.
+	all := []graph.NodeID{0, 1, 2, 3}
+	if got := div.Eval(all); got < 0 || got > div.MaxValue() {
+		t.Errorf("δ(all) = %v outside [0, %v]", got, div.MaxValue())
+	}
+}
+
+func TestDiversitySampling(t *testing.T) {
+	// A larger uniform set: the sampled estimate must approximate the
+	// exact pairwise sum.
+	g := graph.New()
+	for i := 0; i < 60; i++ {
+		g.AddNode("P", map[string]graph.Value{"exp": graph.Int(int64(i % 7))})
+	}
+	g.Freeze()
+	match := make([]graph.NodeID, 60)
+	for i := range match {
+		match[i] = graph.NodeID(i)
+	}
+	dist := TupleDistance(g, []string{"exp"})
+	exact := &Diversity{Lambda: 1, Relevance: ConstantRelevance(0), Distance: dist, LabelPopulation: 60}
+	sampled := &Diversity{Lambda: 1, Relevance: ConstantRelevance(0), Distance: dist, LabelPopulation: 60, MaxPairs: 400}
+	e, s := exact.Eval(match), sampled.Eval(match)
+	if e == 0 {
+		t.Fatal("exact diversity is zero")
+	}
+	if rel := math.Abs(e-s) / e; rel > 0.15 {
+		t.Errorf("sampled estimate off by %.0f%% (exact %v, sampled %v)", rel*100, e, s)
+	}
+	// Determinism.
+	if s2 := sampled.Eval(match); s2 != s {
+		t.Error("sampled diversity not deterministic")
+	}
+}
+
+func TestCoverageAndFeasible(t *testing.T) {
+	g := measureGraph(t)
+	set := groups.Set{
+		{Name: "math", Members: map[graph.NodeID]bool{0: true, 1: true}, Want: 1},
+		{Name: "bio", Members: map[graph.NodeID]bool{2: true}, Want: 1},
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	// Perfect coverage: one from each group → f = C = 2.
+	if got := Coverage(set, []graph.NodeID{0, 2}); got != 2 {
+		t.Errorf("f = %v, want 2", got)
+	}
+	// Over-coverage penalized: both math nodes + bio → |2-1| + 0 = 1 → f = 1.
+	if got := Coverage(set, []graph.NodeID{0, 1, 2}); got != 1 {
+		t.Errorf("f = %v, want 1", got)
+	}
+	// Under-coverage penalized and clamped at 0.
+	if got := Coverage(set, nil); got != 0 {
+		t.Errorf("f(∅) = %v, want 0 (C=2, penalty 2)", got)
+	}
+	if !Feasible(set, []graph.NodeID{0, 2}) {
+		t.Error("exact coverage should be feasible")
+	}
+	if Feasible(set, []graph.NodeID{0}) {
+		t.Error("missing bio should be infeasible")
+	}
+	// Nodes outside all groups don't count.
+	if got := Coverage(set, []graph.NodeID{3}); got != 0 {
+		t.Errorf("outside nodes counted: %v", got)
+	}
+	if CoverageMax(set) != 2 {
+		t.Error("CoverageMax wrong")
+	}
+}
+
+// TestCoverageRange: f ∈ [0, C] for arbitrary answers (property).
+func TestCoverageRangeProperty(t *testing.T) {
+	set := groups.Set{
+		{Name: "a", Members: map[graph.NodeID]bool{0: true, 1: true, 2: true}, Want: 2},
+		{Name: "b", Members: map[graph.NodeID]bool{3: true, 4: true}, Want: 1},
+	}
+	c := CoverageMax(set)
+	f := func(mask uint8) bool {
+		var ans []graph.NodeID
+		for b := 0; b < 6; b++ {
+			if mask&(1<<b) != 0 {
+				ans = append(ans, graph.NodeID(b))
+			}
+		}
+		got := Coverage(set, ans)
+		return got >= 0 && got <= c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package measure
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickLevenshteinMetric: symmetry, identity and the triangle
+// inequality — Levenshtein is a metric on strings.
+func TestQuickLevenshteinMetric(t *testing.T) {
+	shorten := func(s string) string {
+		r := []rune(s)
+		if len(r) > 12 {
+			r = r[:12]
+		}
+		return string(r)
+	}
+	sym := func(a, b string) bool {
+		a, b = shorten(a), shorten(b)
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(sym, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error("symmetry:", err)
+	}
+	ident := func(a string) bool {
+		a = shorten(a)
+		return Levenshtein(a, a) == 0
+	}
+	if err := quick.Check(ident, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error("identity:", err)
+	}
+	tri := func(a, b, c string) bool {
+		a, b, c = shorten(a), shorten(b), shorten(c)
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(tri, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error("triangle:", err)
+	}
+}
+
+// TestQuickLevenshteinBounds: |len(a)-len(b)| <= d <= max(len).
+func TestQuickLevenshteinBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		ra, rb := []rune(a), []rune(b)
+		if len(ra) > 12 {
+			ra = ra[:12]
+		}
+		if len(rb) > 12 {
+			rb = rb[:12]
+		}
+		d := Levenshtein(string(ra), string(rb))
+		lo := len(ra) - len(rb)
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := len(ra)
+		if len(rb) > hi {
+			hi = len(rb)
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package measure
+
+import "fairsqg/internal/graph"
+
+// ProfileRelevance scores a match by its similarity to a reference
+// attribute profile — a stand-in for the entity-linkage relevance the
+// paper cites as an alternative r(u_o, ·). The score is 1 minus the
+// normalized tuple distance between the node and the profile, so nodes
+// matching the profile exactly score 1 and completely different nodes 0.
+func ProfileRelevance(g *graph.Graph, profile map[string]graph.Value) RelevanceFunc {
+	if len(profile) == 0 {
+		return ConstantRelevance(1)
+	}
+	attrs := make([]string, 0, len(profile))
+	for a := range profile {
+		attrs = append(attrs, a)
+	}
+	spans := make(map[string]float64, len(attrs))
+	for _, a := range attrs {
+		lo, hi := 0.0, 0.0
+		first := true
+		for _, v := range g.ActiveDomain(a) {
+			if v.Kind() != graph.KindNumber {
+				continue
+			}
+			f := v.Float()
+			if first {
+				lo, hi, first = f, f, false
+				continue
+			}
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		if hi > lo {
+			spans[a] = hi - lo
+		} else {
+			spans[a] = 1
+		}
+	}
+	return func(v graph.NodeID) float64 {
+		total := 0.0
+		for _, a := range attrs {
+			total += attrDistance(g.Attr(v, a), profile[a], spans[a])
+		}
+		return 1 - total/float64(len(attrs))
+	}
+}
+
+// CombinedRelevance averages several relevance functions — e.g. degree
+// prestige blended with profile similarity.
+func CombinedRelevance(fns ...RelevanceFunc) RelevanceFunc {
+	if len(fns) == 0 {
+		return ConstantRelevance(1)
+	}
+	return func(v graph.NodeID) float64 {
+		total := 0.0
+		for _, fn := range fns {
+			total += fn(v)
+		}
+		return total / float64(len(fns))
+	}
+}

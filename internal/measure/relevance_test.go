@@ -1,0 +1,47 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"fairsqg/internal/graph"
+)
+
+func TestProfileRelevance(t *testing.T) {
+	g := graph.New()
+	exact := g.AddNode("P", map[string]graph.Value{"major": graph.Str("cs"), "exp": graph.Int(10)})
+	near := g.AddNode("P", map[string]graph.Value{"major": graph.Str("cs"), "exp": graph.Int(5)})
+	far := g.AddNode("P", map[string]graph.Value{"major": graph.Str("art"), "exp": graph.Int(0)})
+	g.Freeze()
+	r := ProfileRelevance(g, map[string]graph.Value{
+		"major": graph.Str("cs"),
+		"exp":   graph.Int(10),
+	})
+	re, rn, rf := r(exact), r(near), r(far)
+	if math.Abs(re-1) > 1e-9 {
+		t.Errorf("exact match relevance = %v, want 1", re)
+	}
+	if !(re > rn && rn > rf) {
+		t.Errorf("relevance ordering broken: %v, %v, %v", re, rn, rf)
+	}
+	for _, v := range []float64{re, rn, rf} {
+		if v < 0 || v > 1 {
+			t.Errorf("relevance %v outside [0,1]", v)
+		}
+	}
+	// Empty profile degrades to constant 1.
+	if got := ProfileRelevance(g, nil)(far); got != 1 {
+		t.Errorf("empty profile = %v", got)
+	}
+}
+
+func TestCombinedRelevance(t *testing.T) {
+	half := ConstantRelevance(0.5)
+	one := ConstantRelevance(1)
+	if got := CombinedRelevance(half, one)(0); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("combined = %v, want 0.75", got)
+	}
+	if got := CombinedRelevance()(0); got != 1 {
+		t.Errorf("empty combination = %v", got)
+	}
+}

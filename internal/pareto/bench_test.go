@@ -1,0 +1,46 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkArchiveUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	points := make([]Point, 4096)
+	for i := range points {
+		points[i] = Point{Div: rng.Float64() * 100, Cov: rng.Float64() * 100}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewArchive[int](0.1)
+		for j, p := range points {
+			a.Update(p, j)
+		}
+	}
+}
+
+func BenchmarkKung(b *testing.B) {
+	points := randomPoints(4096, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Kung(points)
+	}
+}
+
+func BenchmarkNaiveParetoSet(b *testing.B) {
+	points := randomPoints(1024, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NaiveParetoSet(points)
+	}
+}
+
+func BenchmarkMinEps(b *testing.B) {
+	approx := randomPoints(32, 3)
+	ref := randomPoints(2048, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinEps(approx, ref)
+	}
+}

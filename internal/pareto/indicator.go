@@ -1,0 +1,99 @@
+package pareto
+
+import "math"
+
+// MinEps returns ε_m: the smallest ε ≥ 0 for which approx is an ε-Pareto
+// set of ref — every reference point is ε_m-dominated by some approximation
+// point. It returns +Inf when approx is empty (and ref is not) or when some
+// reference point cannot be dominated by any finite ε.
+func MinEps(approx, ref []Point) float64 {
+	if len(ref) == 0 {
+		return 0
+	}
+	if len(approx) == 0 {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for _, r := range ref {
+		best := math.Inf(1)
+		for _, a := range approx {
+			if e := RequiredEps(a, r); e < best {
+				best = e
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+// EpsIndicator computes the paper's normalized ε-indicator
+// I_ε = 1 − ε_m/ε for an approximation set produced under tolerance eps.
+// I_ε = 1 means the set is an exact Pareto approximation (ε_m = 0); values
+// approaching 0 mean the full tolerance was needed. The result may be
+// negative when the set fails its ε contract.
+func EpsIndicator(approx, ref []Point, eps float64) float64 {
+	em := MinEps(approx, ref)
+	if math.IsInf(em, 1) {
+		return math.Inf(-1)
+	}
+	return 1 - em/eps
+}
+
+// RIndicator computes the paper's preference-weighted quality indicator
+// I_R = ((1−λ_R)·δ* + λ_R·f*)/2, where δ* (f*) is the best diversity
+// (coverage) in the set normalized into [0,1] by divMax (covMax) — the
+// maxima over the full instance space. λ_R near 1 rewards coverage, near 0
+// rewards diversity.
+func RIndicator(set []Point, lambdaR, divMax, covMax float64) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	bestDiv, bestCov := 0.0, 0.0
+	for _, p := range set {
+		if p.Div > bestDiv {
+			bestDiv = p.Div
+		}
+		if p.Cov > bestCov {
+			bestCov = p.Cov
+		}
+	}
+	if divMax > 0 {
+		bestDiv /= divMax
+	}
+	if covMax > 0 {
+		bestCov /= covMax
+	}
+	if bestDiv > 1 {
+		bestDiv = 1
+	}
+	if bestCov > 1 {
+		bestCov = 1
+	}
+	return ((1-lambdaR)*bestDiv + lambdaR*bestCov) / 2
+}
+
+// Hypervolume returns the area of the objective space dominated by the set
+// relative to the origin, normalized by divMax·covMax into [0,1]. It is an
+// auxiliary indicator (not in the paper's figures) useful for ablations.
+func Hypervolume(set []Point, divMax, covMax float64) float64 {
+	if len(set) == 0 || divMax <= 0 || covMax <= 0 {
+		return 0
+	}
+	front := Kung(set)
+	// front is ordered by decreasing Div and increasing Cov; sweep it in
+	// increasing Div, accumulating each point's vertical strip.
+	area := 0.0
+	prevDiv := 0.0
+	for i := len(front) - 1; i >= 0; i-- {
+		p := set[front[i]]
+		cov := math.Min(p.Cov, covMax)
+		div := math.Min(p.Div, divMax)
+		if div > prevDiv {
+			area += (div - prevDiv) * cov
+			prevDiv = div
+		}
+	}
+	return area / (divMax * covMax)
+}

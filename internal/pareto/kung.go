@@ -1,0 +1,88 @@
+package pareto
+
+import "sort"
+
+// Kung computes the exact Pareto (non-dominated) subset of points using
+// Kung's divide-and-conquer maxima algorithm [Kung, Luccio, Preparata; used
+// via Ding et al. 2003 in the paper]. The returned indices reference the
+// input slice and are ordered by strictly decreasing Div and strictly
+// increasing Cov. Duplicate points keep the earliest index.
+func Kung(points []Point) []int {
+	if len(points) == 0 {
+		return nil
+	}
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort by Div descending, breaking ties by Cov descending then original
+	// index so the first element of each tie group dominates its peers.
+	sort.SliceStable(idx, func(a, b int) bool {
+		pa, pb := points[idx[a]], points[idx[b]]
+		if pa.Div != pb.Div {
+			return pa.Div > pb.Div
+		}
+		if pa.Cov != pb.Cov {
+			return pa.Cov > pb.Cov
+		}
+		return idx[a] < idx[b]
+	})
+	front := kungRec(points, idx)
+	// Drop duplicates (identical points) that survive the weak filter.
+	out := front[:0]
+	for i, id := range front {
+		if i > 0 && points[id] == points[front[i-1]] {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// kungRec computes maxima of idx (sorted by Div desc): split, solve halves,
+// and keep from the back half only points whose Cov exceeds the best Cov of
+// the front half.
+func kungRec(points []Point, idx []int) []int {
+	if len(idx) == 1 {
+		return idx
+	}
+	mid := len(idx) / 2
+	front := kungRec(points, idx[:mid])
+	back := kungRec(points, idx[mid:])
+	maxCov := front[0]
+	for _, id := range front {
+		if points[id].Cov > points[maxCov].Cov {
+			maxCov = id
+		}
+	}
+	merged := append([]int(nil), front...)
+	for _, id := range back {
+		if points[id].Cov > points[maxCov].Cov {
+			merged = append(merged, id)
+		}
+	}
+	return merged
+}
+
+// NaiveParetoSet returns the non-dominated indices by pairwise comparison;
+// the O(n²) reference used to cross-check Kung in tests and by EnumQGen.
+// Of a group of identical points only the earliest index is kept.
+func NaiveParetoSet(points []Point) []int {
+	var out []int
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if Dominates(q, p) || (q == p && j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+// Package pareto implements the bi-objective machinery of FairSQG:
+// dominance and ε-dominance over (diversity, coverage) points, the
+// log-scale "boxing" discretization, the box-level archive implementing the
+// paper's Update procedure (Fig. 5), Kung's algorithm for exact Pareto
+// sets, and the ε- and R-quality indicators used in the evaluation.
+package pareto
+
+import "math"
+
+// Point is one instance's quality coordinates (δ(q), f(q)); both objectives
+// are maximized.
+type Point struct {
+	Div float64 // diversity δ(q)
+	Cov float64 // coverage f(q)
+}
+
+// Dominates reports whether a dominates b: a is at least as good on both
+// objectives and strictly better on at least one.
+func Dominates(a, b Point) bool {
+	return (a.Div >= b.Div && a.Cov > b.Cov) || (a.Div > b.Div && a.Cov >= b.Cov)
+}
+
+// WeaklyDominates reports a ⪰ b: at least as good on both objectives.
+func WeaklyDominates(a, b Point) bool {
+	return a.Div >= b.Div && a.Cov >= b.Cov
+}
+
+// EpsDominates reports a ≻_ε b: (1+ε)·δ(a) ≥ δ(b) and (1+ε)·f(a) ≥ f(b).
+// By Lemma 4, a ≻_ε b implies a ≻_ε' b for every ε' > ε.
+func EpsDominates(a, b Point, eps float64) bool {
+	return (1+eps)*a.Div >= b.Div && (1+eps)*a.Cov >= b.Cov
+}
+
+// RequiredEps returns the smallest ε ≥ 0 such that a ≻_ε b, or +Inf when no
+// finite ε suffices (b positive on an objective where a is zero).
+func RequiredEps(a, b Point) float64 {
+	need := 0.0
+	for _, pair := range [2][2]float64{{a.Div, b.Div}, {a.Cov, b.Cov}} {
+		av, bv := pair[0], pair[1]
+		if bv <= av {
+			continue
+		}
+		if av <= 0 {
+			return math.Inf(1)
+		}
+		if e := bv/av - 1; e > need {
+			need = e
+		}
+	}
+	return need
+}
+
+// Distance returns the Euclidean distance of two points after normalizing
+// each axis by the given ranges (maximum diversity and coverage). The
+// OnlineQGen ε-enlargement step uses it so that the adjusted ε stays
+// commensurate with the ε-dominance scale regardless of the absolute
+// magnitudes of δ and f.
+func Distance(a, b Point, divMax, covMax float64) float64 {
+	dd, dc := a.Div-b.Div, a.Cov-b.Cov
+	if divMax > 0 {
+		dd /= divMax
+	}
+	if covMax > 0 {
+		dc /= covMax
+	}
+	return math.Sqrt(dd*dd + dc*dc)
+}
+
+// Box is the discretized cell of a point in the bi-objective space; cells
+// grow geometrically with ε so that any two points in one cell ε-dominate
+// each other.
+type Box struct {
+	DI int // diversity box index
+	FI int // coverage box index
+}
+
+// BoxOf computes the boxing coordinates (⌊log(1+δ)/log(1+ε)⌋,
+// ⌊log(1+f)/log(1+ε)⌋) of a point.
+func BoxOf(p Point, eps float64) Box {
+	return Box{DI: boxIndex(p.Div, eps), FI: boxIndex(p.Cov, eps)}
+}
+
+func boxIndex(v, eps float64) int {
+	if v <= 0 {
+		return 0
+	}
+	return int(math.Log1p(v) / math.Log1p(eps))
+}
+
+// Dominates reports strict box-level dominance: b is at least as high on
+// both axes and strictly higher on one.
+func (b Box) Dominates(c Box) bool {
+	return (b.DI >= c.DI && b.FI > c.FI) || (b.DI > c.DI && b.FI >= c.FI)
+}
+
+// WeaklyDominates reports b ⪰ c at box level (dominates or equal).
+func (b Box) WeaklyDominates(c Box) bool {
+	return b.DI >= c.DI && b.FI >= c.FI
+}
+
+// MaxBoxesPerAxis returns the number of distinct box indices an objective
+// bounded by maxValue can produce: the per-axis factor of the Theorem 2
+// size bound |Q_ε| ≤ log(maxValue)/log(1+ε) (+1 for the zero box).
+func MaxBoxesPerAxis(maxValue, eps float64) int {
+	if maxValue <= 0 {
+		return 1
+	}
+	return boxIndex(maxValue, eps) + 1
+}

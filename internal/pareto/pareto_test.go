@@ -1,0 +1,236 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	a := Point{Div: 2, Cov: 3}
+	cases := []struct {
+		b         Point
+		dom, weak bool
+		symDom    bool // b dominates a
+	}{
+		{Point{Div: 2, Cov: 3}, false, true, false}, // equal
+		{Point{Div: 1, Cov: 3}, true, true, false},
+		{Point{Div: 2, Cov: 2}, true, true, false},
+		{Point{Div: 1, Cov: 2}, true, true, false},
+		{Point{Div: 3, Cov: 2}, false, false, false}, // incomparable
+		{Point{Div: 3, Cov: 4}, false, false, true},
+	}
+	for _, c := range cases {
+		if got := Dominates(a, c.b); got != c.dom {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", a, c.b, got, c.dom)
+		}
+		if got := WeaklyDominates(a, c.b); got != c.weak {
+			t.Errorf("WeaklyDominates(%v, %v) = %v, want %v", a, c.b, got, c.weak)
+		}
+		if got := Dominates(c.b, a); got != c.symDom {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.b, a, got, c.symDom)
+		}
+	}
+}
+
+func TestEpsDominates(t *testing.T) {
+	a := Point{Div: 1, Cov: 1}
+	b := Point{Div: 1.2, Cov: 1.1}
+	if EpsDominates(a, b, 0.1) {
+		t.Error("ε=0.1 should not suffice for 20% gap")
+	}
+	if !EpsDominates(a, b, 0.2) {
+		t.Error("ε=0.2 should suffice")
+	}
+	// Lemma 4: ε-dominance is preserved under larger ε.
+	f := func(ad, ac, bd, bc, e1, e2 float64) bool {
+		a := Point{Div: math.Abs(ad), Cov: math.Abs(ac)}
+		b := Point{Div: math.Abs(bd), Cov: math.Abs(bc)}
+		lo := math.Mod(math.Abs(e1), 2) + 0.001
+		hi := lo + math.Mod(math.Abs(e2), 2)
+		if EpsDominates(a, b, lo) && !EpsDominates(a, b, hi) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequiredEps(t *testing.T) {
+	if got := RequiredEps(Point{1, 1}, Point{1, 1}); got != 0 {
+		t.Errorf("equal points need ε = %v", got)
+	}
+	if got := RequiredEps(Point{2, 2}, Point{1, 1}); got != 0 {
+		t.Errorf("dominating point needs ε = %v", got)
+	}
+	if got := RequiredEps(Point{1, 1}, Point{1.5, 1}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("RequiredEps = %v, want 0.5", got)
+	}
+	if got := RequiredEps(Point{0, 1}, Point{1, 1}); !math.IsInf(got, 1) {
+		t.Errorf("zero objective should need infinite ε, got %v", got)
+	}
+	// Consistency with EpsDominates.
+	f := func(ad, ac, bd, bc float64) bool {
+		a := Point{Div: math.Abs(ad), Cov: math.Abs(ac)}
+		b := Point{Div: math.Abs(bd), Cov: math.Abs(bc)}
+		e := RequiredEps(a, b)
+		if math.IsInf(e, 1) {
+			return true
+		}
+		return EpsDominates(a, b, e+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxOf(t *testing.T) {
+	eps := 0.5
+	if got := BoxOf(Point{0, 0}, eps); got != (Box{0, 0}) {
+		t.Errorf("box(0,0) = %v", got)
+	}
+	// log(1+0.6)/log(1.5) ≈ 1.159 → 1.
+	if got := BoxOf(Point{0.6, 0}, eps); got.DI != 1 {
+		t.Errorf("box(0.6) DI = %d", got.DI)
+	}
+	// Negative values clamp to box 0.
+	if got := BoxOf(Point{-3, -3}, eps); got != (Box{0, 0}) {
+		t.Errorf("negative box = %v", got)
+	}
+	// Two points in one box ε-dominate each other (the boxing guarantee),
+	// modulo the 1-box tolerance at boundaries.
+	f := func(x, y float64) bool {
+		a := Point{Div: math.Mod(math.Abs(x), 100), Cov: 1}
+		b := Point{Div: math.Mod(math.Abs(y), 100), Cov: 1}
+		if BoxOf(a, eps) != BoxOf(b, eps) {
+			return true
+		}
+		return EpsDominates(a, b, eps) && EpsDominates(b, a, eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxDominance(t *testing.T) {
+	a := Box{2, 3}
+	if !a.Dominates(Box{1, 3}) || !a.Dominates(Box{2, 2}) || !a.Dominates(Box{1, 2}) {
+		t.Error("box dominance false negative")
+	}
+	if a.Dominates(a) {
+		t.Error("box must not dominate itself")
+	}
+	if a.Dominates(Box{3, 2}) {
+		t.Error("incomparable boxes dominated")
+	}
+	if !a.WeaklyDominates(a) {
+		t.Error("weak dominance must be reflexive")
+	}
+}
+
+func TestMaxBoxesPerAxis(t *testing.T) {
+	if got := MaxBoxesPerAxis(0, 0.1); got != 1 {
+		t.Errorf("zero range = %d", got)
+	}
+	got := MaxBoxesPerAxis(1000, 0.1)
+	want := int(math.Log1p(1000)/math.Log1p(0.1)) + 1
+	if got != want {
+		t.Errorf("MaxBoxesPerAxis = %d, want %d", got, want)
+	}
+}
+
+func randomPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]Point, n)
+	for i := range ps {
+		ps[i] = Point{Div: float64(rng.Intn(50)), Cov: float64(rng.Intn(50))}
+	}
+	return ps
+}
+
+func TestKungMatchesNaive(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		ps := randomPoints(40, seed)
+		kung := append([]int(nil), Kung(ps)...)
+		naive := NaiveParetoSet(ps)
+		// Compare as sets of points (duplicates keep one representative,
+		// possibly a different index with equal coordinates).
+		toSet := func(idx []int) map[Point]bool {
+			m := map[Point]bool{}
+			for _, i := range idx {
+				m[ps[i]] = true
+			}
+			return m
+		}
+		ks, ns := toSet(kung), toSet(naive)
+		if !reflect.DeepEqual(ks, ns) {
+			t.Fatalf("seed %d: kung %v != naive %v", seed, ks, ns)
+		}
+		// No member of the front may dominate another.
+		for _, i := range kung {
+			for _, j := range kung {
+				if i != j && Dominates(ps[i], ps[j]) {
+					t.Fatalf("seed %d: front contains dominated point", seed)
+				}
+			}
+		}
+		// Every input point must be weakly dominated by some front member.
+		for _, p := range ps {
+			ok := false
+			for _, i := range kung {
+				if WeaklyDominates(ps[i], p) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("seed %d: point %v not covered by front", seed, p)
+			}
+		}
+	}
+}
+
+func TestKungEdgeCases(t *testing.T) {
+	if got := Kung(nil); got != nil {
+		t.Errorf("Kung(nil) = %v", got)
+	}
+	if got := Kung([]Point{{1, 1}}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("singleton = %v", got)
+	}
+	// All identical: exactly one survives.
+	same := []Point{{2, 2}, {2, 2}, {2, 2}}
+	if got := Kung(same); len(got) != 1 {
+		t.Errorf("identical points front = %v", got)
+	}
+	// A strictly increasing anti-chain survives whole.
+	anti := []Point{{1, 9}, {2, 8}, {3, 7}, {4, 6}}
+	if got := Kung(anti); len(got) != 4 {
+		t.Errorf("anti-chain front = %v", got)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	d := Distance(Point{0, 0}, Point{3, 4}, 0, 0)
+	if math.Abs(d-5) > 1e-12 {
+		t.Errorf("unnormalized distance = %v", d)
+	}
+	d = Distance(Point{0, 0}, Point{3, 4}, 3, 4)
+	if math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Errorf("normalized distance = %v", d)
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	// Kung must keep the earliest index among duplicates.
+	ps := []Point{{5, 5}, {5, 5}}
+	got := Kung(ps)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("duplicate representative = %v", got)
+	}
+	_ = sort.IntsAreSorted // keep sort imported for the helper below
+}

@@ -1,0 +1,146 @@
+package query
+
+import (
+	"fmt"
+
+	"fairsqg/internal/graph"
+)
+
+// Builder assembles templates programmatically. Errors are accumulated and
+// reported by Build, so call sites can chain without per-call checks.
+type Builder struct {
+	t    Template
+	errs []error
+}
+
+// NewBuilder starts a template with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{t: Template{Name: name, Output: -1}}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Node adds a query node with a label; returns the builder for chaining.
+func (b *Builder) Node(name, label string) *Builder {
+	if b.t.Node(name) >= 0 {
+		b.errf("query: duplicate node %q", name)
+		return b
+	}
+	b.t.Nodes = append(b.t.Nodes, TNode{Name: name, Label: label})
+	return b
+}
+
+// Literal adds a fixed predicate "node.attr op value".
+func (b *Builder) Literal(node, attr string, op graph.Op, value graph.Value) *Builder {
+	ni := b.t.Node(node)
+	if ni < 0 {
+		b.errf("query: Literal: unknown node %q", node)
+		return b
+	}
+	b.t.Nodes[ni].Literals = append(b.t.Nodes[ni].Literals,
+		Literal{Attr: attr, Op: op, Var: -1, Const: value})
+	return b
+}
+
+// RangeVar adds a parameterized predicate "node.attr op $varName" backed by
+// a fresh range variable. The value ladder is installed later by
+// Template.BindDomains (or set explicitly with SetLadder).
+func (b *Builder) RangeVar(varName, node, attr string, op graph.Op) *Builder {
+	ni := b.t.Node(node)
+	if ni < 0 {
+		b.errf("query: RangeVar: unknown node %q", node)
+		return b
+	}
+	if b.t.Var(varName) >= 0 {
+		b.errf("query: duplicate variable %q", varName)
+		return b
+	}
+	vi := VarID(len(b.t.Vars))
+	b.t.Vars = append(b.t.Vars, Variable{Name: varName, Kind: RangeVar, Node: ni, Attr: attr, Op: op})
+	b.t.Nodes[ni].Literals = append(b.t.Nodes[ni].Literals, Literal{Attr: attr, Op: op, Var: vi})
+	return b
+}
+
+// Edge adds a fixed (always present) edge.
+func (b *Builder) Edge(from, to, label string) *Builder {
+	fi, ti := b.t.Node(from), b.t.Node(to)
+	if fi < 0 || ti < 0 {
+		b.errf("query: Edge: unknown endpoint %q -> %q", from, to)
+		return b
+	}
+	b.t.Edges = append(b.t.Edges, TEdge{From: fi, To: ti, Label: label, Var: -1})
+	return b
+}
+
+// VarEdge adds a parameterized edge whose presence is controlled by a fresh
+// edge variable.
+func (b *Builder) VarEdge(varName, from, to, label string) *Builder {
+	fi, ti := b.t.Node(from), b.t.Node(to)
+	if fi < 0 || ti < 0 {
+		b.errf("query: VarEdge: unknown endpoint %q -> %q", from, to)
+		return b
+	}
+	if b.t.Var(varName) >= 0 {
+		b.errf("query: duplicate variable %q", varName)
+		return b
+	}
+	ei := len(b.t.Edges)
+	vi := VarID(len(b.t.Vars))
+	b.t.Vars = append(b.t.Vars, Variable{Name: varName, Kind: EdgeVar, Edge: ei})
+	b.t.Edges = append(b.t.Edges, TEdge{From: fi, To: ti, Label: label, Var: vi})
+	return b
+}
+
+// Output designates the output node u_o.
+func (b *Builder) Output(name string) *Builder {
+	ni := b.t.Node(name)
+	if ni < 0 {
+		b.errf("query: Output: unknown node %q", name)
+		return b
+	}
+	b.t.Output = ni
+	return b
+}
+
+// SetLadder installs an explicit value ladder for a range variable,
+// bypassing BindDomains. Values must already be in relaxed→refined order
+// for the variable's operator.
+func (b *Builder) SetLadder(varName string, values ...graph.Value) *Builder {
+	vi := b.t.Var(varName)
+	if vi < 0 {
+		b.errf("query: SetLadder: unknown variable %q", varName)
+		return b
+	}
+	if b.t.Vars[vi].Kind != RangeVar {
+		b.errf("query: SetLadder: %q is not a range variable", varName)
+		return b
+	}
+	b.t.Vars[vi].Ladder = values
+	return b
+}
+
+// Build validates and returns the template.
+func (b *Builder) Build() (*Template, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if b.t.Output < 0 {
+		return nil, fmt.Errorf("query: template %q: no output node designated", b.t.Name)
+	}
+	t := b.t
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild() *Template {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

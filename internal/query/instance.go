@@ -1,0 +1,344 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fairsqg/internal/graph"
+)
+
+// Wildcard is the binding level meaning "don't care": the parameterized
+// predicate or edge is removed from the instance.
+const Wildcard = -1
+
+// Instantiation assigns every template variable a binding level. For a
+// range variable, level l >= 0 selects Ladder[l] (ladders are ordered most
+// relaxed → most refined); for an edge variable level 0 means the edge is
+// absent and level 1 present. Wildcard removes the predicate (for an edge
+// variable it is equivalent to absent).
+type Instantiation []int
+
+// Clone returns an independent copy.
+func (in Instantiation) Clone() Instantiation {
+	out := make(Instantiation, len(in))
+	copy(out, in)
+	return out
+}
+
+// Key encodes the instantiation as a compact map key.
+func (in Instantiation) Key() string {
+	var b strings.Builder
+	b.Grow(len(in) * 3)
+	for i, l := range in {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", l)
+	}
+	return b.String()
+}
+
+// Instance is a query instance q(u_o): a template plus a full
+// instantiation. Instances are immutable once created.
+type Instance struct {
+	T *Template
+	I Instantiation
+
+	activeEdges []int // indices of present edges, restricted to u_o's component
+	activeNodes []int // template nodes in u_o's component
+	key         string
+}
+
+// NewInstance materializes an instance: it resolves edge presence, keeps
+// only the connected component of the output node, and caches the canonical
+// key. The instantiation must have one entry per template variable.
+func NewInstance(t *Template, in Instantiation) (*Instance, error) {
+	if len(in) != len(t.Vars) {
+		return nil, fmt.Errorf("query: instantiation has %d bindings; template %q has %d variables",
+			len(in), t.Name, len(t.Vars))
+	}
+	for vi, level := range in {
+		v := &t.Vars[vi]
+		switch v.Kind {
+		case RangeVar:
+			if level < Wildcard || level >= len(v.Ladder) {
+				return nil, fmt.Errorf("query: variable %q: binding level %d out of range [-1,%d)",
+					v.Name, level, len(v.Ladder))
+			}
+		case EdgeVar:
+			if level < Wildcard || level > 1 {
+				return nil, fmt.Errorf("query: edge variable %q: binding level %d not in {-1,0,1}", v.Name, level)
+			}
+		}
+	}
+	q := &Instance{T: t, I: in.Clone()}
+	q.project()
+	q.key = q.I.Key()
+	return q, nil
+}
+
+// MustInstance is NewInstance that panics on error; for tests and
+// generators with known-good inputs.
+func MustInstance(t *Template, in Instantiation) *Instance {
+	q, err := NewInstance(t, in)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// project computes the edges present under I and restricts the instance to
+// the connected component of the output node (undirected reachability).
+func (q *Instance) project() {
+	t := q.T
+	present := make([]bool, len(t.Edges))
+	for ei, e := range t.Edges {
+		if !e.Parameterized() {
+			present[ei] = true
+			continue
+		}
+		present[ei] = q.I[e.Var] == 1
+	}
+	adj := make([][]int, len(t.Nodes))
+	for ei, e := range t.Edges {
+		if present[ei] {
+			adj[e.From] = append(adj[e.From], e.To)
+			adj[e.To] = append(adj[e.To], e.From)
+		}
+	}
+	inComp := make([]bool, len(t.Nodes))
+	stack := []int{t.Output}
+	inComp[t.Output] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !inComp[w] {
+				inComp[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	q.activeEdges = q.activeEdges[:0]
+	for ei, e := range t.Edges {
+		if present[ei] && inComp[e.From] && inComp[e.To] {
+			q.activeEdges = append(q.activeEdges, ei)
+		}
+	}
+	q.activeNodes = q.activeNodes[:0]
+	for ni := range t.Nodes {
+		if inComp[ni] {
+			q.activeNodes = append(q.activeNodes, ni)
+		}
+	}
+}
+
+// Key returns the canonical identity of the instance within its template's
+// instance space.
+func (q *Instance) Key() string { return q.key }
+
+// ActiveEdges returns the template-edge indices present in the instance
+// (restricted to the output node's component).
+func (q *Instance) ActiveEdges() []int { return q.activeEdges }
+
+// ActiveNodes returns the template-node indices in the output component.
+func (q *Instance) ActiveNodes() []int { return q.activeNodes }
+
+// NodeActive reports whether template node ni survives projection.
+func (q *Instance) NodeActive(ni int) bool {
+	for _, n := range q.activeNodes {
+		if n == ni {
+			return true
+		}
+	}
+	return false
+}
+
+// BoundLiterals returns the concrete literals of template node ni under the
+// instantiation: fixed literals plus parameterized ones whose variable is
+// bound to a constant.
+func (q *Instance) BoundLiterals(ni int) []BoundLiteral {
+	var out []BoundLiteral
+	for _, l := range q.T.Nodes[ni].Literals {
+		if !l.Parameterized() {
+			out = append(out, BoundLiteral{Attr: l.Attr, Op: l.Op, Value: l.Const})
+			continue
+		}
+		level := q.I[l.Var]
+		if level == Wildcard {
+			continue
+		}
+		out = append(out, BoundLiteral{Attr: l.Attr, Op: l.Op, Value: q.T.Vars[l.Var].Ladder[level]})
+	}
+	return out
+}
+
+// BoundLiteral is a fully instantiated search predicate.
+type BoundLiteral struct {
+	Attr  string
+	Op    graph.Op
+	Value graph.Value
+}
+
+// Matches reports whether graph node v satisfies the literal.
+func (b BoundLiteral) Matches(g *graph.Graph, v graph.NodeID) bool {
+	return b.Op.Apply(g.Attr(v, b.Attr), b.Value)
+}
+
+// String renders the instance's bindings in a stable, human-readable form.
+func (q *Instance) String() string {
+	var b strings.Builder
+	b.WriteString(q.T.Name)
+	b.WriteByte('{')
+	for vi := range q.T.Vars {
+		if vi > 0 {
+			b.WriteString(", ")
+		}
+		v := &q.T.Vars[vi]
+		b.WriteString(v.Name)
+		b.WriteByte('=')
+		level := q.I[vi]
+		switch {
+		case v.Kind == EdgeVar:
+			if level == 1 {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		case level == Wildcard:
+			b.WriteByte('_')
+		default:
+			b.WriteString(v.Ladder[level].String())
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Describe renders the instance as executable query text: each active node
+// with its bound literals and each active edge.
+func (q *Instance) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instance of %s (output %s)\n", q.T.Name, q.T.Nodes[q.T.Output].Name)
+	for _, ni := range q.activeNodes {
+		n := &q.T.Nodes[ni]
+		fmt.Fprintf(&b, "  node %s: %s", n.Name, n.Label)
+		lits := q.BoundLiterals(ni)
+		sort.Slice(lits, func(i, j int) bool { return lits[i].Attr < lits[j].Attr })
+		for _, l := range lits {
+			fmt.Fprintf(&b, " [%s %s %s]", l.Attr, l.Op, l.Value)
+		}
+		b.WriteByte('\n')
+	}
+	for _, ei := range q.activeEdges {
+		e := &q.T.Edges[ei]
+		fmt.Fprintf(&b, "  edge %s -> %s : %s\n", q.T.Nodes[e.From].Name, q.T.Nodes[e.To].Name, e.Label)
+	}
+	return b.String()
+}
+
+// RefinesBinding reports whether binding level b refines level a for
+// variable v: every node satisfying the predicate under b also satisfies it
+// under a (for edge variables: presence refines absence). Any binding
+// refines the wildcard.
+func RefinesBinding(v *Variable, a, b int) bool {
+	if a == b {
+		return true
+	}
+	if a == Wildcard {
+		return true
+	}
+	if b == Wildcard {
+		return false
+	}
+	switch v.Kind {
+	case EdgeVar:
+		return b >= a
+	default:
+		if v.Op == graph.OpEQ {
+			return a == b
+		}
+		// Ladders are ordered most relaxed → most refined, so larger level
+		// means a more selective predicate regardless of the operator.
+		return b >= a
+	}
+}
+
+// Refines reports whether q' = b refines q = a (b ⪰_I a): for every
+// variable, b's binding is at least as selective as a's. Both instances
+// must come from the same template.
+func Refines(b, a *Instance) bool {
+	if b.T != a.T {
+		return false
+	}
+	return RefinesInstantiation(b.T, a.I, b.I)
+}
+
+// RefinesInstantiation reports whether instantiation b refines a under
+// template t (b ⪰ a), without materializing instances.
+func RefinesInstantiation(t *Template, a, b Instantiation) bool {
+	for vi := range t.Vars {
+		if !RefinesBinding(&t.Vars[vi], a[vi], b[vi]) {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyRefinesInstantiation reports b ≻ a: refinement with a difference.
+func StrictlyRefinesInstantiation(t *Template, a, b Instantiation) bool {
+	if !RefinesInstantiation(t, a, b) {
+		return false
+	}
+	for vi := range b {
+		if b[vi] != a[vi] {
+			return true
+		}
+	}
+	return false
+}
+
+// StrictlyRefines reports b ≻_I a: Refines(b, a) and the instantiations
+// differ.
+func StrictlyRefines(b, a *Instance) bool {
+	return Refines(b, a) && b.key != a.key
+}
+
+// Root returns the most relaxed instantiation: every range variable is a
+// wildcard and every edge variable absent. This is the lattice root q_r.
+func Root(t *Template) Instantiation {
+	in := make(Instantiation, len(t.Vars))
+	for vi := range t.Vars {
+		switch t.Vars[vi].Kind {
+		case RangeVar:
+			in[vi] = Wildcard
+		case EdgeVar:
+			in[vi] = 0
+		}
+	}
+	return in
+}
+
+// Bottom returns the most refined instantiation: every edge variable
+// present and every range variable at the last (most selective) ladder
+// level. For an equality variable — whose refinement order is flat — the
+// first ladder value is used; this choice is documented in DESIGN.md.
+// This is the lattice bottom q_b.
+func Bottom(t *Template) Instantiation {
+	in := make(Instantiation, len(t.Vars))
+	for vi := range t.Vars {
+		v := &t.Vars[vi]
+		switch v.Kind {
+		case RangeVar:
+			if v.Op == graph.OpEQ {
+				in[vi] = 0
+			} else {
+				in[vi] = len(v.Ladder) - 1
+			}
+		case EdgeVar:
+			in[vi] = 1
+		}
+	}
+	return in
+}

@@ -1,0 +1,85 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"fairsqg/internal/graph"
+)
+
+func TestParseLadderDirective(t *testing.T) {
+	tpl, err := ParseString(`
+template t
+node a Person yearsOfExp >= $x
+node b Person title = "Boss"
+edge a b recommend
+ladder $x 5 10 15
+output b
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tpl.Vars[tpl.Var("x")]
+	if len(x.Ladder) != 3 || !x.Ladder[1].Equal(graph.Int(10)) {
+		t.Fatalf("ladder = %v", x.Ladder)
+	}
+	// Quoted ladder values stay strings.
+	tpl2, err := ParseString(`
+template t
+node a Person code = $c
+ladder $c "1" "2"
+output a
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tpl2.Vars[tpl2.Var("c")]
+	if c.Ladder[0].Kind() != graph.KindString {
+		t.Errorf("quoted ladder value kind = %v", c.Ladder[0].Kind())
+	}
+}
+
+func TestParseLadderErrors(t *testing.T) {
+	cases := []string{
+		"ladder $x 1",                                  // before template
+		"template t\nnode a A\nladder $x",              // no values
+		"template t\nnode a A\nladder x 1 2",           // missing $
+		"template t\nnode a A\nladder $ 1",             // empty name
+		"template t\nnode a A\nladder $zz 1\noutput a", // unknown variable
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) should fail", src)
+		}
+	}
+}
+
+func TestFormatEmitsLadders(t *testing.T) {
+	tpl := talentTemplate(t) // has explicit ladders
+	out := Format(tpl)
+	if !strings.Contains(out, "ladder $x1 5 10 15") {
+		t.Fatalf("Format missing ladder:\n%s", out)
+	}
+	// Round trip preserves the ladders without BindDomains.
+	tpl2, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := range tpl.Vars {
+		if tpl.Vars[vi].Kind != RangeVar {
+			continue
+		}
+		a, b := tpl.Vars[vi].Ladder, tpl2.Vars[vi].Ladder
+		if len(a) != len(b) {
+			t.Fatalf("ladder length drifted for %s", tpl.Vars[vi].Name)
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("ladder value drifted: %v vs %v", a[i], b[i])
+			}
+		}
+	}
+	if Format(tpl2) != out {
+		t.Error("Format not stable with ladders")
+	}
+}

@@ -1,0 +1,266 @@
+package query
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"fairsqg/internal/graph"
+)
+
+// Parse reads a template from its textual form. The grammar is line-based:
+//
+//	template NAME
+//	node NAME LABEL [ATTR OP VALUE {, ATTR OP VALUE}]
+//	edge FROM TO LABEL [?VAR]
+//	ladder $VAR VALUE...
+//	output NAME
+//
+// A VALUE of the form $name introduces a range variable; a quoted string or
+// bare token is a fixed constant (numbers parse as numbers). An edge
+// followed by ?name carries an edge variable. A ladder line pins a range
+// variable's value ladder explicitly (values in relaxed→refined order),
+// making the template self-contained; without one, call
+// Template.BindDomains after parsing. '#' starts a comment.
+//
+// Example:
+//
+//	template talent
+//	node u_o Person title = "Director"
+//	node u1 Person yearsOfExp >= $x1
+//	node u4 Org employees >= $x3
+//	edge u1 u_o recommend ?e1
+//	edge u1 u4 worksAt
+//	output u_o
+func Parse(r io.Reader) (*Template, error) {
+	sc := bufio.NewScanner(r)
+	var b *Builder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		tokens, err := tokenize(line)
+		if err != nil {
+			return nil, fmt.Errorf("query: line %d: %w", lineNo, err)
+		}
+		if len(tokens) == 0 {
+			continue
+		}
+		switch tokens[0].text {
+		case "template":
+			if len(tokens) != 2 {
+				return nil, fmt.Errorf("query: line %d: usage: template NAME", lineNo)
+			}
+			if b != nil {
+				return nil, fmt.Errorf("query: line %d: duplicate template declaration", lineNo)
+			}
+			b = NewBuilder(tokens[1].text)
+		case "node":
+			if b == nil {
+				return nil, fmt.Errorf("query: line %d: node before template declaration", lineNo)
+			}
+			if len(tokens) < 3 {
+				return nil, fmt.Errorf("query: line %d: usage: node NAME LABEL [predicates]", lineNo)
+			}
+			name, label := tokens[1].text, tokens[2].text
+			b.Node(name, label)
+			if err := parsePredicates(b, name, tokens[3:], lineNo); err != nil {
+				return nil, err
+			}
+		case "edge":
+			if b == nil {
+				return nil, fmt.Errorf("query: line %d: edge before template declaration", lineNo)
+			}
+			switch len(tokens) {
+			case 4:
+				b.Edge(tokens[1].text, tokens[2].text, tokens[3].text)
+			case 5:
+				if !strings.HasPrefix(tokens[4].text, "?") || len(tokens[4].text) < 2 || tokens[4].quoted {
+					return nil, fmt.Errorf("query: line %d: edge variable must look like ?name, got %q", lineNo, tokens[4].text)
+				}
+				b.VarEdge(tokens[4].text[1:], tokens[1].text, tokens[2].text, tokens[3].text)
+			default:
+				return nil, fmt.Errorf("query: line %d: usage: edge FROM TO LABEL [?VAR]", lineNo)
+			}
+		case "ladder":
+			if b == nil {
+				return nil, fmt.Errorf("query: line %d: ladder before template declaration", lineNo)
+			}
+			if len(tokens) < 3 {
+				return nil, fmt.Errorf("query: line %d: usage: ladder $VAR VALUE...", lineNo)
+			}
+			name := tokens[1].text
+			if tokens[1].quoted || !strings.HasPrefix(name, "$") || len(name) < 2 {
+				return nil, fmt.Errorf("query: line %d: ladder variable must look like $name, got %q", lineNo, name)
+			}
+			vals := make([]graph.Value, 0, len(tokens)-2)
+			for _, tk := range tokens[2:] {
+				if tk.text == "," {
+					continue
+				}
+				if tk.quoted {
+					vals = append(vals, graph.Str(tk.text))
+				} else {
+					vals = append(vals, graph.ParseValue(tk.text))
+				}
+			}
+			b.SetLadder(name[1:], vals...)
+		case "output":
+			if b == nil {
+				return nil, fmt.Errorf("query: line %d: output before template declaration", lineNo)
+			}
+			if len(tokens) != 2 {
+				return nil, fmt.Errorf("query: line %d: usage: output NAME", lineNo)
+			}
+			b.Output(tokens[1].text)
+		default:
+			return nil, fmt.Errorf("query: line %d: unknown directive %q", lineNo, tokens[0].text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("query: no template declaration found")
+	}
+	return b.Build()
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Template, error) { return Parse(strings.NewReader(s)) }
+
+// parsePredicates consumes "ATTR OP VALUE {, ATTR OP VALUE}" token runs.
+func parsePredicates(b *Builder, node string, tokens []tok, lineNo int) error {
+	for len(tokens) > 0 {
+		if len(tokens) < 3 {
+			return fmt.Errorf("query: line %d: incomplete predicate", lineNo)
+		}
+		attr, opTok, val := tokens[0].text, tokens[1].text, tokens[2]
+		op, err := graph.ParseOp(opTok)
+		if err != nil {
+			return fmt.Errorf("query: line %d: %w", lineNo, err)
+		}
+		switch {
+		case !val.quoted && strings.HasPrefix(val.text, "$"):
+			if len(val.text) < 2 {
+				return fmt.Errorf("query: line %d: empty variable name", lineNo)
+			}
+			b.RangeVar(val.text[1:], node, attr, op)
+		case val.quoted:
+			b.Literal(node, attr, op, graph.Str(val.text))
+		default:
+			b.Literal(node, attr, op, graph.ParseValue(val.text))
+		}
+		tokens = tokens[3:]
+		if len(tokens) > 0 {
+			if tokens[0].text != "," {
+				return fmt.Errorf("query: line %d: expected ',' between predicates, got %q", lineNo, tokens[0].text)
+			}
+			tokens = tokens[1:]
+		}
+	}
+	return nil
+}
+
+// tok is one lexical token; quoted marks double-quoted string literals so
+// their values never reparse as numbers or booleans.
+type tok struct {
+	text   string
+	quoted bool
+}
+
+// tokenize splits a line on whitespace, honoring double-quoted strings and
+// splitting off commas as their own tokens.
+func tokenize(line string) ([]tok, error) {
+	var tokens []tok
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == ',':
+			tokens = append(tokens, tok{text: ","})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(line) && line[j] != '"' {
+				j++
+			}
+			if j == len(line) {
+				return nil, fmt.Errorf("unterminated string literal")
+			}
+			tokens = append(tokens, tok{text: line[i+1 : j], quoted: true})
+			i = j + 1
+		default:
+			j := i
+			for j < len(line) && line[j] != ' ' && line[j] != '\t' && line[j] != ',' {
+				j++
+			}
+			tokens = append(tokens, tok{text: line[i:j]})
+			i = j
+		}
+	}
+	return tokens, nil
+}
+
+// Format renders a template back into the Parse grammar, including ladder
+// lines for range variables whose ladders are bound.
+func Format(t *Template) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "template %s\n", t.Name)
+	for ni := range t.Nodes {
+		n := &t.Nodes[ni]
+		fmt.Fprintf(&b, "node %s %s", n.Name, n.Label)
+		for li, l := range n.Literals {
+			if li > 0 {
+				b.WriteString(" ,")
+			}
+			if l.Parameterized() {
+				fmt.Fprintf(&b, " %s %s $%s", l.Attr, l.Op, t.Vars[l.Var].Name)
+			} else {
+				fmt.Fprintf(&b, " %s %s %s", l.Attr, l.Op, quoteIfNeeded(l.Const))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, e := range t.Edges {
+		fmt.Fprintf(&b, "edge %s %s %s", t.Nodes[e.From].Name, t.Nodes[e.To].Name, e.Label)
+		if e.Parameterized() {
+			fmt.Fprintf(&b, " ?%s", t.Vars[e.Var].Name)
+		}
+		b.WriteByte('\n')
+	}
+	for vi := range t.Vars {
+		v := &t.Vars[vi]
+		if v.Kind != RangeVar || len(v.Ladder) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "ladder $%s", v.Name)
+		for _, val := range v.Ladder {
+			fmt.Fprintf(&b, " %s", quoteIfNeeded(val))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "output %s\n", t.Nodes[t.Output].Name)
+	return b.String()
+}
+
+func quoteIfNeeded(v graph.Value) string {
+	s := v.String()
+	if v.Kind() == graph.KindString && (strings.ContainsAny(s, " \t,") || s == "" ||
+		strings.HasPrefix(s, "$") || strings.HasPrefix(s, "?")) {
+		return `"` + s + `"`
+	}
+	if v.Kind() == graph.KindString {
+		// Quote strings that would re-parse as numbers or booleans.
+		if p := graph.ParseValue(s); p.Kind() != graph.KindString {
+			return `"` + s + `"`
+		}
+	}
+	return s
+}

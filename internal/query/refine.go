@@ -1,0 +1,152 @@
+package query
+
+import "fairsqg/internal/graph"
+
+// RefineSteps returns the instantiations reachable from in by refining
+// exactly one variable to its next value in the corresponding ladder: the
+// children of in in the instance lattice (Section IV, "Instance Lattice").
+// For chain-ordered range variables (<, <=, >=, >) the wildcard steps to
+// ladder level 0 and level l to l+1. For equality variables the wildcard
+// steps to every ladder value (each a one-step refinement) and a bound
+// value has no further refinement. Edge variables step from absent (0) to
+// present (1).
+func RefineSteps(t *Template, in Instantiation) []Instantiation {
+	var out []Instantiation
+	for vi := range t.Vars {
+		v := &t.Vars[vi]
+		level := in[vi]
+		switch v.Kind {
+		case EdgeVar:
+			if level == 0 || level == Wildcard {
+				out = append(out, withBinding(in, vi, 1))
+			}
+		case RangeVar:
+			if v.Op == graph.OpEQ {
+				if level == Wildcard {
+					for l := range v.Ladder {
+						out = append(out, withBinding(in, vi, l))
+					}
+				}
+				continue
+			}
+			switch {
+			case level == Wildcard:
+				if len(v.Ladder) > 0 {
+					out = append(out, withBinding(in, vi, 0))
+				}
+			case level+1 < len(v.Ladder):
+				out = append(out, withBinding(in, vi, level+1))
+			}
+		}
+	}
+	return out
+}
+
+// RelaxSteps returns the instantiations reachable from in by relaxing
+// exactly one variable by one step: the parents of in in the instance
+// lattice. It is the inverse of RefineSteps and drives the backward
+// (SpawnB) exploration of BiQGen.
+func RelaxSteps(t *Template, in Instantiation) []Instantiation {
+	var out []Instantiation
+	for vi := range t.Vars {
+		v := &t.Vars[vi]
+		level := in[vi]
+		switch v.Kind {
+		case EdgeVar:
+			if level == 1 {
+				out = append(out, withBinding(in, vi, 0))
+			}
+		case RangeVar:
+			if v.Op == graph.OpEQ {
+				if level != Wildcard {
+					out = append(out, withBinding(in, vi, Wildcard))
+				}
+				continue
+			}
+			switch {
+			case level == 0:
+				out = append(out, withBinding(in, vi, Wildcard))
+			case level > 0:
+				out = append(out, withBinding(in, vi, level-1))
+			}
+		}
+	}
+	return out
+}
+
+func withBinding(in Instantiation, vi, level int) Instantiation {
+	out := in.Clone()
+	out[vi] = level
+	return out
+}
+
+// RefineStepsRestricted is RefineSteps with per-variable ladder caps: for
+// range variable vi only levels < maxLevel[vi] are spawned. It implements
+// the Spawn template-refinement optimization, which restricts the values a
+// variable can still take to those realized in the d-hop neighborhood of
+// the current match set. A cap of -1 means "no values remain" (only the
+// wildcard step, if any, is suppressed too); a missing entry means no cap.
+// fixedEdges[vi] == true freezes edge variable vi at absent (its label does
+// not occur around the matches).
+func RefineStepsRestricted(t *Template, in Instantiation, maxLevel map[int]int, fixedEdges map[int]bool) []Instantiation {
+	var out []Instantiation
+	for vi := range t.Vars {
+		v := &t.Vars[vi]
+		level := in[vi]
+		switch v.Kind {
+		case EdgeVar:
+			if fixedEdges != nil && fixedEdges[vi] {
+				continue
+			}
+			if level == 0 || level == Wildcard {
+				out = append(out, withBinding(in, vi, 1))
+			}
+		case RangeVar:
+			cap, capped := -2, false
+			if maxLevel != nil {
+				if c, ok := maxLevel[vi]; ok {
+					cap, capped = c, true
+				}
+			}
+			if v.Op == graph.OpEQ {
+				if level == Wildcard {
+					for l := range v.Ladder {
+						if capped && l > cap {
+							continue
+						}
+						out = append(out, withBinding(in, vi, l))
+					}
+				}
+				continue
+			}
+			next := -2
+			switch {
+			case level == Wildcard:
+				if len(v.Ladder) > 0 {
+					next = 0
+				}
+			case level+1 < len(v.Ladder):
+				next = level + 1
+			}
+			if next >= 0 && (!capped || next <= cap) {
+				out = append(out, withBinding(in, vi, next))
+			}
+		}
+	}
+	return out
+}
+
+// ChainLength returns, for chain-ordered variables, the number of
+// refinement steps from the root to the most refined binding; used by cost
+// models and tests.
+func ChainLength(v *Variable) int {
+	switch v.Kind {
+	case EdgeVar:
+		return 1
+	default:
+		if v.Op == graph.OpEQ {
+			return 1
+		}
+		return len(v.Ladder)
+	}
+}

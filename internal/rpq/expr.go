@@ -1,0 +1,232 @@
+// Package rpq extends FairSQG to regular path queries — the query class
+// the paper's conclusion names as future work. An RPQ instance selects
+// target nodes reachable from predicate-filtered source nodes along paths
+// whose edge-label word belongs to a regular language, within a bounded
+// number of hops. Templates parameterize the source predicates (range
+// variables), the top-level alternation branches (Boolean variables, the
+// analogue of edge variables) and the hop bound; the same
+// diversity/coverage bi-objective machinery then generates ε-Pareto sets
+// of RPQ instances.
+package rpq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a regular expression over edge labels.
+type Expr interface {
+	fmt.Stringer
+	// precedence for parenthesization in String.
+	prec() int
+}
+
+// Label matches one edge with the given label.
+type Label struct{ Name string }
+
+func (l Label) String() string { return l.Name }
+func (l Label) prec() int      { return 3 }
+
+// Concat matches the concatenation of its parts.
+type Concat struct{ Parts []Expr }
+
+func (c Concat) String() string {
+	out := make([]string, len(c.Parts))
+	for i, p := range c.Parts {
+		out[i] = wrap(p, c.prec())
+	}
+	return strings.Join(out, "/")
+}
+func (c Concat) prec() int { return 2 }
+
+// Alt matches any one of its branches.
+type Alt struct{ Branches []Expr }
+
+func (a Alt) String() string {
+	out := make([]string, len(a.Branches))
+	for i, b := range a.Branches {
+		out[i] = wrap(b, a.prec())
+	}
+	return strings.Join(out, "|")
+}
+func (a Alt) prec() int { return 1 }
+
+// Star matches zero or more repetitions of its body.
+type Star struct{ Body Expr }
+
+func (s Star) String() string { return wrap(s.Body, 3) + "*" }
+func (s Star) prec() int      { return 3 }
+
+// Plus matches one or more repetitions of its body.
+type Plus struct{ Body Expr }
+
+func (p Plus) String() string { return wrap(p.Body, 3) + "+" }
+func (p Plus) prec() int      { return 3 }
+
+// Opt matches zero or one occurrence of its body.
+type Opt struct{ Body Expr }
+
+func (o Opt) String() string { return wrap(o.Body, 3) + "?" }
+func (o Opt) prec() int      { return 3 }
+
+func wrap(e Expr, outer int) string {
+	if e.prec() < outer {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
+// Parse reads a path expression. Grammar (highest to lowest precedence):
+//
+//	atom   := LABEL | '(' alt ')'
+//	unary  := atom ('*' | '+' | '?')*
+//	concat := unary { '/' unary }
+//	alt    := concat { '|' concat }
+//
+// Labels are identifiers ([A-Za-z0-9_]+).
+func Parse(src string) (Expr, error) {
+	p := &parser{src: src}
+	e, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("rpq: unexpected %q at offset %d", p.src[p.pos:], p.pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) alt() (Expr, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	branches := []Expr{first}
+	for p.peek() == '|' {
+		p.pos++
+		next, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, next)
+	}
+	if len(branches) == 1 {
+		return first, nil
+	}
+	return Alt{Branches: branches}, nil
+}
+
+func (p *parser) concat() (Expr, error) {
+	first, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{first}
+	for {
+		c := p.peek()
+		if c == '/' {
+			p.pos++
+			next, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, next)
+			continue
+		}
+		break
+	}
+	if len(parts) == 1 {
+		return first, nil
+	}
+	return Concat{Parts: parts}, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	e, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = Star{Body: e}
+		case '+':
+			p.pos++
+			e = Plus{Body: e}
+		case '?':
+			p.pos++
+			e = Opt{Body: e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) atom() (Expr, error) {
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		e, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("rpq: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	case isIdent(c):
+		start := p.pos
+		for p.pos < len(p.src) && isIdent(p.src[p.pos]) {
+			p.pos++
+		}
+		return Label{Name: p.src[start:p.pos]}, nil
+	case c == 0:
+		return nil, fmt.Errorf("rpq: unexpected end of expression")
+	default:
+		return nil, fmt.Errorf("rpq: unexpected %q at offset %d", string(c), p.pos)
+	}
+}
+
+func isIdent(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// TopBranches returns the branches of a top-level alternation, or the
+// expression itself as a single branch.
+func TopBranches(e Expr) []Expr {
+	if a, ok := e.(Alt); ok {
+		return a.Branches
+	}
+	return []Expr{e}
+}

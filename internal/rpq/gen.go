@@ -1,0 +1,293 @@
+package rpq
+
+import (
+	"fmt"
+	"time"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
+	"fairsqg/internal/measure"
+	"fairsqg/internal/pareto"
+)
+
+// Config is the RPQ generation configuration, mirroring the subgraph one.
+type Config struct {
+	G        *graph.Graph
+	Template *Template
+	Groups   groups.Set
+	Eps      float64
+
+	// Lambda balances relevance and dissimilarity in δ (default 0.5).
+	Lambda float64
+	// Relevance defaults to degree relevance over the whole graph.
+	Relevance measure.RelevanceFunc
+	// Distance defaults to the tuple edit distance over all attributes.
+	Distance measure.DistanceFunc
+	// DistanceAttrs restricts the default distance.
+	DistanceAttrs []string
+	// MaxPairs caps pairwise diversity work (default 20000).
+	MaxPairs int
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.G == nil || !c.G.Frozen() {
+		return fmt.Errorf("rpq: config needs a frozen graph")
+	}
+	if c.Template == nil {
+		return fmt.Errorf("rpq: config needs a template")
+	}
+	for vi := range c.Template.Vars {
+		if len(c.Template.Vars[vi].Ladder) == 0 {
+			return fmt.Errorf("rpq: variable %q has no ladder; call BindDomains", c.Template.Vars[vi].Name)
+		}
+	}
+	if len(c.Groups) == 0 {
+		return fmt.Errorf("rpq: config needs groups")
+	}
+	if err := c.Groups.Validate(); err != nil {
+		return err
+	}
+	if c.Eps <= 0 {
+		return fmt.Errorf("rpq: eps must be positive")
+	}
+	return nil
+}
+
+// Verified is an evaluated RPQ instance.
+type Verified struct {
+	In       Instantiation
+	Targets  []graph.NodeID
+	Point    pareto.Point
+	Feasible bool
+}
+
+// Result is a generation outcome.
+type Result struct {
+	Set     []*Verified
+	Eps     float64
+	Elapsed time.Duration
+	// Verified counts instance evaluations; Pruned counts skipped
+	// refinement children.
+	VerifiedCount int
+	Pruned        int
+}
+
+// Runner evaluates and generates RPQ instances for one configuration.
+type Runner struct {
+	cfg   *Config
+	div   *measure.Diversity
+	nfas  map[uint64]*NFA
+	cache map[string]*Verified
+	stats struct {
+		verified int
+		pruned   int
+	}
+}
+
+// NewRunner validates and prepares shared state.
+func NewRunner(cfg *Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lambda := cfg.Lambda
+	if lambda == 0 {
+		lambda = 0.5
+	}
+	rel := cfg.Relevance
+	if rel == nil {
+		rel = measure.ConstantRelevance(1)
+	}
+	dist := cfg.Distance
+	if dist == nil {
+		dist = measure.TupleDistance(cfg.G, cfg.DistanceAttrs)
+	}
+	maxPairs := cfg.MaxPairs
+	if maxPairs == 0 {
+		maxPairs = 20000
+	}
+	return &Runner{
+		cfg: cfg,
+		div: &measure.Diversity{
+			Lambda:    lambda,
+			Relevance: rel,
+			Distance:  dist,
+			// RPQ targets may span labels; normalize by the whole node
+			// population (documented in DESIGN.md).
+			LabelPopulation: cfg.G.NumNodes(),
+			MaxPairs:        maxPairs,
+		},
+		nfas:  map[uint64]*NFA{},
+		cache: map[string]*Verified{},
+	}, nil
+}
+
+// nfaFor compiles (and caches) the NFA for an instantiation's enabled
+// branches.
+func (r *Runner) nfaFor(in Instantiation) *NFA {
+	mask := r.cfg.Template.BranchMask(in)
+	if nfa, ok := r.nfas[mask]; ok {
+		return nfa
+	}
+	expr := r.cfg.Template.EnabledExpr(in)
+	if expr == nil {
+		r.nfas[mask] = nil
+		return nil
+	}
+	nfa := Compile(expr, r.cfg.G)
+	r.nfas[mask] = nfa
+	return nfa
+}
+
+// verify evaluates one instantiation (cached).
+func (r *Runner) verify(in Instantiation) *Verified {
+	key := in.Key()
+	if v, ok := r.cache[key]; ok {
+		return v
+	}
+	t := r.cfg.Template
+	v := &Verified{In: append(Instantiation(nil), in...)}
+	if nfa := r.nfaFor(in); nfa != nil {
+		sources := t.Sources(r.cfg.G, in)
+		v.Targets = nfa.Eval(r.cfg.G, sources, t.Bound(in))
+	}
+	v.Feasible = measure.Feasible(r.cfg.Groups, v.Targets)
+	if v.Feasible {
+		v.Point = pareto.Point{
+			Div: r.div.Eval(v.Targets),
+			Cov: measure.Coverage(r.cfg.Groups, v.Targets),
+		}
+	}
+	r.cache[key] = v
+	r.stats.verified++
+	return v
+}
+
+// Enumerate verifies the full instance space and reduces it through the
+// Update archive — the EnumQGen analogue.
+func (r *Runner) Enumerate() (*Result, error) {
+	start := time.Now()
+	archive := pareto.NewArchive[*Verified](r.cfg.Eps)
+	t := r.cfg.Template
+	var rec func(in Instantiation, i int)
+	rec = func(in Instantiation, i int) {
+		if i == t.arity() {
+			v := r.verify(in)
+			if v.Feasible {
+				archive.Update(v.Point, v)
+			}
+			return
+		}
+		switch {
+		case i < len(t.Vars):
+			for l := Wildcard; l < len(t.Vars[i].Ladder); l++ {
+				in[i] = l
+				rec(in, i+1)
+			}
+		case i < len(t.Vars)+len(t.Branches):
+			for f := 0; f <= 1; f++ {
+				in[i] = f
+				rec(in, i+1)
+			}
+		default:
+			for b := 0; b < len(t.Bounds); b++ {
+				in[i] = b
+				rec(in, i+1)
+			}
+		}
+	}
+	rec(make(Instantiation, t.arity()), 0)
+	return r.result(archive, start), nil
+}
+
+// Generate runs the RfQGen strategy on the RPQ lattice: depth-first
+// refinement from the most relaxed instantiation with infeasibility
+// subtree pruning (shrinking the language, tightening a predicate or
+// lowering the bound can only shrink the target set, so Lemma 2 carries
+// over verbatim).
+func (r *Runner) Generate() (*Result, error) {
+	start := time.Now()
+	archive := pareto.NewArchive[*Verified](r.cfg.Eps)
+	t := r.cfg.Template
+	visited := map[string]bool{}
+	var explore func(in Instantiation)
+	explore = func(in Instantiation) {
+		key := in.Key()
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		v := r.verify(in)
+		if !v.Feasible {
+			r.stats.pruned += len(t.RefineSteps(in))
+			return
+		}
+		archive.Update(v.Point, v)
+		for _, child := range t.RefineSteps(in) {
+			explore(child)
+		}
+	}
+	explore(t.Root())
+	return r.result(archive, start), nil
+}
+
+// AllFeasible enumerates and returns every feasible instance (reference
+// set for indicators).
+func (r *Runner) AllFeasible() []*Verified {
+	t := r.cfg.Template
+	var out []*Verified
+	var rec func(in Instantiation, i int)
+	rec = func(in Instantiation, i int) {
+		if i == t.arity() {
+			if v := r.verify(in); v.Feasible {
+				out = append(out, v)
+			}
+			return
+		}
+		switch {
+		case i < len(t.Vars):
+			for l := Wildcard; l < len(t.Vars[i].Ladder); l++ {
+				in[i] = l
+				rec(in, i+1)
+			}
+		case i < len(t.Vars)+len(t.Branches):
+			for f := 0; f <= 1; f++ {
+				in[i] = f
+				rec(in, i+1)
+			}
+		default:
+			for b := 0; b < len(t.Bounds); b++ {
+				in[i] = b
+				rec(in, i+1)
+			}
+		}
+	}
+	rec(make(Instantiation, t.arity()), 0)
+	return out
+}
+
+func (r *Runner) result(archive *pareto.Archive[*Verified], start time.Time) *Result {
+	set := archive.Payloads()
+	// Present by decreasing diversity like the subgraph algorithms.
+	for i := 1; i < len(set); i++ {
+		for j := i; j > 0 && set[j].Point.Div > set[j-1].Point.Div; j-- {
+			set[j], set[j-1] = set[j-1], set[j]
+		}
+	}
+	return &Result{
+		Set:           set,
+		Eps:           r.cfg.Eps,
+		Elapsed:       time.Since(start),
+		VerifiedCount: r.stats.verified,
+		Pruned:        r.stats.pruned,
+	}
+}
+
+// Points extracts quality coordinates.
+func (res *Result) Points() []pareto.Point {
+	ps := make([]pareto.Point, len(res.Set))
+	for i, v := range res.Set {
+		ps[i] = v.Point
+	}
+	return ps
+}

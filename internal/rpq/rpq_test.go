@@ -1,0 +1,403 @@
+package rpq
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
+	"fairsqg/internal/pareto"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"cites", "cites"},
+		{"cites/authored", "cites/authored"},
+		{"cites|authored", "cites|authored"},
+		{"cites*", "cites*"},
+		{"cites+", "cites+"},
+		{"cites?", "cites?"},
+		{"(cites|refs)/authored", "(cites|refs)/authored"},
+		{"cites/(refs|links)*", "cites/(refs|links)*"},
+		{"a/b|c/d", "a/b|c/d"},
+		{" a / b ", "a/b"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if e.String() != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, e.String(), c.want)
+		}
+		// Round trip.
+		e2, err := Parse(e.String())
+		if err != nil || e2.String() != e.String() {
+			t.Errorf("round trip of %q failed: %v", c.src, err)
+		}
+	}
+	bad := []string{"", "(", "a|", "a/", "*", "a)b", "a$(b)"}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestTopBranches(t *testing.T) {
+	e := MustParse("a|b/c|d*")
+	if got := len(TopBranches(e)); got != 3 {
+		t.Errorf("branches = %d", got)
+	}
+	if got := len(TopBranches(MustParse("a/b"))); got != 1 {
+		t.Errorf("single branch = %d", got)
+	}
+}
+
+// pathGraph builds: s0 -a-> m1 -a-> m2 -a-> m3, s0 -b-> x1, x1 -a-> m2.
+func pathGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < 6; i++ {
+		g.AddNode("N", map[string]graph.Value{"id": graph.Int(int64(i))})
+	}
+	edges := []struct {
+		from, to int
+		label    string
+	}{
+		{0, 1, "a"}, {1, 2, "a"}, {2, 3, "a"},
+		{0, 4, "b"}, {4, 2, "a"},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(graph.NodeID(e.from), graph.NodeID(e.to), e.label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+func evalIDs(t *testing.T, g *graph.Graph, expr string, sources []graph.NodeID, hops int) []graph.NodeID {
+	t.Helper()
+	nfa := Compile(MustParse(expr), g)
+	return nfa.Eval(g, sources, hops)
+}
+
+func TestNFAEval(t *testing.T) {
+	g := pathGraph(t)
+	s := []graph.NodeID{0}
+	cases := []struct {
+		expr string
+		hops int
+		want []graph.NodeID
+	}{
+		{"a", 10, []graph.NodeID{1}},
+		{"a/a", 10, []graph.NodeID{2}},
+		{"a*", 10, []graph.NodeID{0, 1, 2, 3}},
+		{"a+", 10, []graph.NodeID{1, 2, 3}},
+		{"a?", 10, []graph.NodeID{0, 1}},
+		{"b/a", 10, []graph.NodeID{2}},
+		{"a|b", 10, []graph.NodeID{1, 4}},
+		{"(a|b)/a", 10, []graph.NodeID{2}},
+		{"(a|b)*", 10, []graph.NodeID{0, 1, 2, 3, 4}},
+		// Hop bounds truncate.
+		{"a*", 1, []graph.NodeID{0, 1}},
+		{"a*", 2, []graph.NodeID{0, 1, 2}},
+		{"a/a", 1, nil},
+		// Unknown label: dead.
+		{"z", 10, nil},
+		{"z|a", 10, []graph.NodeID{1}},
+	}
+	for _, c := range cases {
+		got := evalIDs(t, g, c.expr, s, c.hops)
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("eval(%q, hops=%d) = %v, want %v", c.expr, c.hops, got, c.want)
+		}
+	}
+}
+
+func TestNFAEmptyWord(t *testing.T) {
+	g := pathGraph(t)
+	if !Compile(MustParse("a*"), g).AcceptsEmpty() {
+		t.Error("a* should accept the empty word")
+	}
+	if Compile(MustParse("a"), g).AcceptsEmpty() {
+		t.Error("a should not accept the empty word")
+	}
+}
+
+// bruteForcePaths enumerates all bounded paths and checks word membership
+// via the NFA run on the word — the oracle for Eval.
+func bruteForcePaths(g *graph.Graph, expr Expr, sources []graph.NodeID, maxHops int) []graph.NodeID {
+	nfa := Compile(expr, g)
+	found := map[graph.NodeID]bool{}
+	var walk func(v graph.NodeID, states map[int]bool, depth int)
+	walk = func(v graph.NodeID, states map[int]bool, depth int) {
+		for st := range states {
+			if nfa.accept[st] {
+				found[v] = true
+			}
+		}
+		if depth == maxHops {
+			return
+		}
+		for _, e := range g.Out(v) {
+			next := map[int]bool{}
+			for st := range states {
+				for _, tr := range nfa.trans[st] {
+					if tr.label == e.Label {
+						next[tr.next] = true
+					}
+				}
+			}
+			if len(next) > 0 {
+				walk(e.To, next, depth+1)
+			}
+		}
+	}
+	for _, s := range sources {
+		walk(s, map[int]bool{nfa.start: true}, 0)
+	}
+	var out []graph.NodeID
+	for v := range found {
+		out = append(out, v)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestNFAEvalAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	exprs := []string{"a", "a/b", "a|b", "a*", "(a|b)/a", "a/(a|b)*", "a+|b"}
+	for trial := 0; trial < 50; trial++ {
+		g := graph.New()
+		n := 6 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			g.AddNode("N", nil)
+		}
+		for e := 0; e < n*2; e++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			if from != to {
+				label := "a"
+				if rng.Intn(2) == 0 {
+					label = "b"
+				}
+				_ = g.AddEdge(graph.NodeID(from), graph.NodeID(to), label)
+			}
+		}
+		g.Freeze()
+		sources := []graph.NodeID{graph.NodeID(rng.Intn(n))}
+		for _, src := range exprs {
+			expr := MustParse(src)
+			hops := 1 + rng.Intn(4)
+			got := Compile(expr, g).Eval(g, sources, hops)
+			want := bruteForcePaths(g, expr, sources, hops)
+			if len(got) == 0 {
+				got = nil
+			}
+			if len(want) == 0 {
+				want = nil
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d expr %q hops %d: got %v want %v", trial, src, hops, got, want)
+			}
+		}
+	}
+}
+
+// citeGraph builds a small citation graph for generation tests.
+func citeGraph(t *testing.T) (*graph.Graph, groups.Set) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	g := graph.New()
+	topics := []string{"ml", "db"}
+	n := 120
+	for i := 0; i < n; i++ {
+		g.AddNode("Paper", map[string]graph.Value{
+			"topic": graph.Str(topics[rng.Intn(2)]),
+			"year":  graph.Int(int64(2000 + i/6)),
+		})
+	}
+	for i := 1; i < n; i++ {
+		refs := 1 + rng.Intn(3)
+		for r := 0; r < refs; r++ {
+			j := rng.Intn(i)
+			_ = g.AddEdge(graph.NodeID(i), graph.NodeID(j), "cites")
+		}
+	}
+	g.Freeze()
+	set := groups.EqualOpportunity(groups.ByAttribute(g, "Paper", "topic"), 3)
+	return g, set
+}
+
+func TestTemplateBasics(t *testing.T) {
+	g, _ := citeGraph(t)
+	tpl, err := NewTemplate("lit", "Paper", MustParse("cites|cites/cites"), []int{4, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl.AddVar("y", "year", graph.OpGE)
+	if err := tpl.BindDomains(g, 5); err != nil {
+		t.Fatal(err)
+	}
+	root := tpl.Root()
+	if err := tpl.Validate(root); err != nil {
+		t.Fatal(err)
+	}
+	// (5+1 var options) × 2^2 branches × 3 bounds = 72.
+	if got := tpl.InstanceSpaceSize(); got != 72 {
+		t.Errorf("space = %d", got)
+	}
+	// Refinement steps from the root: var wildcard→0, two branch flips,
+	// bound 0→1.
+	kids := tpl.RefineSteps(root)
+	if len(kids) != 4 {
+		t.Fatalf("root children = %d", len(kids))
+	}
+	for _, child := range kids {
+		if !tpl.Refines(root, child) {
+			t.Errorf("child %v does not refine root", child)
+		}
+		if tpl.Refines(child, root) {
+			t.Errorf("root refines child %v", child)
+		}
+	}
+	// Describe mentions the path and bound.
+	d := tpl.Describe(root)
+	if !strings.Contains(d, "hops<=4") || !strings.Contains(d, "cites") {
+		t.Errorf("Describe = %q", d)
+	}
+	// All branches disabled → empty language.
+	allOff := append(Instantiation(nil), root...)
+	allOff[1], allOff[2] = 1, 1
+	if tpl.EnabledExpr(allOff) != nil {
+		t.Error("disabled branches should yield nil expr")
+	}
+	if !strings.Contains(tpl.Describe(allOff), "∅") {
+		t.Error("Describe should mark the empty language")
+	}
+}
+
+func TestTemplateErrors(t *testing.T) {
+	if _, err := NewTemplate("x", "", MustParse("a"), []int{2}); err == nil {
+		t.Error("empty source label accepted")
+	}
+	if _, err := NewTemplate("x", "P", MustParse("a"), nil); err == nil {
+		t.Error("no bounds accepted")
+	}
+	if _, err := NewTemplate("x", "P", MustParse("a"), []int{0}); err == nil {
+		t.Error("zero bound accepted")
+	}
+	if _, err := NewTemplate("x", "P", MustParse("a"), []int{2, 3}); err == nil {
+		t.Error("ascending bounds accepted")
+	}
+}
+
+// TestGenerateMatchesEnumerate: the refinement-based generator must produce
+// a valid ε-Pareto set over the feasible space, with fewer verifications.
+func TestGenerateMatchesEnumerate(t *testing.T) {
+	g, set := citeGraph(t)
+	tpl, err := NewTemplate("lit", "Paper", MustParse("cites|cites/cites"), []int{6, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl.AddVar("y", "year", graph.OpGE)
+	if err := tpl.BindDomains(g, 6); err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{G: g, Template: tpl, Groups: set, Eps: 0.2, DistanceAttrs: []string{"topic", "year"}}
+	refRunner, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refRunner.AllFeasible()
+	if len(ref) == 0 {
+		t.Fatal("no feasible RPQ instances in fixture")
+	}
+	refPoints := make([]pareto.Point, len(ref))
+	for i, v := range ref {
+		refPoints[i] = v.Point
+	}
+	for _, mode := range []string{"enumerate", "generate"} {
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res *Result
+		if mode == "enumerate" {
+			res, err = r.Enumerate()
+		} else {
+			res, err = r.Generate()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Set) == 0 {
+			t.Fatalf("%s: empty set", mode)
+		}
+		if em := pareto.MinEps(res.Points(), refPoints); em > cfg.Eps+1e-9 {
+			t.Errorf("%s: ε_m = %v > ε", mode, em)
+		}
+		if mode == "generate" && res.VerifiedCount > tpl.InstanceSpaceSize() {
+			t.Errorf("generate verified %d > space %d", res.VerifiedCount, tpl.InstanceSpaceSize())
+		}
+	}
+}
+
+// TestMonotonicity: refining an RPQ instance never grows the target set.
+func TestRPQMonotonicity(t *testing.T) {
+	g, set := citeGraph(t)
+	tpl, err := NewTemplate("lit", "Paper", MustParse("cites|cites/cites"), []int{6, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl.AddVar("y", "year", graph.OpGE)
+	if err := tpl.BindDomains(g, 4); err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{G: g, Template: tpl, Groups: set, Eps: 0.2}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(in Instantiation, parentTargets []graph.NodeID)
+	seen := map[string]bool{}
+	walk = func(in Instantiation, parentTargets []graph.NodeID) {
+		if seen[in.Key()] {
+			return
+		}
+		seen[in.Key()] = true
+		v := r.verify(in)
+		if parentTargets != nil && len(v.Targets) > len(parentTargets) {
+			t.Fatalf("refinement grew targets: %d > %d at %v", len(v.Targets), len(parentTargets), in)
+		}
+		// Subset check.
+		if parentTargets != nil {
+			inParent := map[graph.NodeID]bool{}
+			for _, p := range parentTargets {
+				inParent[p] = true
+			}
+			for _, tg := range v.Targets {
+				if !inParent[tg] {
+					t.Fatalf("refinement introduced target %d at %v", tg, in)
+				}
+			}
+		}
+		for _, child := range tpl.RefineSteps(in) {
+			walk(child, v.Targets)
+		}
+	}
+	walk(tpl.Root(), nil)
+}

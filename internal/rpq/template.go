@@ -1,0 +1,305 @@
+package rpq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fairsqg/internal/graph"
+)
+
+// Wildcard is the "don't care" binding level for range variables.
+const Wildcard = -1
+
+// Variable parameterizes one source-node predicate "source.Attr Op $x".
+type Variable struct {
+	Name   string
+	Attr   string
+	Op     graph.Op
+	Ladder []graph.Value // relaxed → refined, installed by BindDomains
+}
+
+// Template is a parameterized regular path query: find targets reachable
+// from predicate-filtered source nodes along paths in a regular language,
+// within a bounded number of hops. Three kinds of parameters mirror the
+// subgraph-template variables:
+//
+//   - range variables on the source predicates (literal refinement),
+//   - one Boolean flag per top-level alternation branch (disabling a
+//     branch shrinks the language — the analogue of an edge variable),
+//   - the hop-bound ladder (smaller bounds admit fewer paths).
+type Template struct {
+	Name        string
+	SourceLabel string
+	Expr        Expr
+	// Branches are the top-level alternation branches of Expr.
+	Branches []Expr
+	// Bounds is the hop-bound ladder, strictly descending (relaxed first).
+	Bounds []int
+	// Vars are the range variables over source attributes.
+	Vars []Variable
+}
+
+// NewTemplate assembles a template; expr's top-level alternation branches
+// become the Boolean structure variables. Bounds must be strictly
+// descending positive hop limits.
+func NewTemplate(name, sourceLabel string, expr Expr, bounds []int) (*Template, error) {
+	if sourceLabel == "" {
+		return nil, fmt.Errorf("rpq: template needs a source label")
+	}
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("rpq: template needs at least one hop bound")
+	}
+	for i, b := range bounds {
+		if b <= 0 {
+			return nil, fmt.Errorf("rpq: hop bound %d must be positive", b)
+		}
+		if i > 0 && bounds[i] >= bounds[i-1] {
+			return nil, fmt.Errorf("rpq: hop bounds must be strictly descending, got %v", bounds)
+		}
+	}
+	return &Template{
+		Name:        name,
+		SourceLabel: sourceLabel,
+		Expr:        expr,
+		Branches:    TopBranches(expr),
+		Bounds:      bounds,
+	}, nil
+}
+
+// AddVar attaches a range variable "source.attr op $name".
+func (t *Template) AddVar(name, attr string, op graph.Op) *Template {
+	t.Vars = append(t.Vars, Variable{Name: name, Attr: attr, Op: op})
+	return t
+}
+
+// BindDomains installs value ladders from the label-restricted active
+// domain of each variable's attribute, like the subgraph templates.
+func (t *Template) BindDomains(g *graph.Graph, maxValues int) error {
+	for vi := range t.Vars {
+		v := &t.Vars[vi]
+		var vals []graph.Value
+		for _, node := range g.NodesByLabel(t.SourceLabel) {
+			if a := g.Attr(node, v.Attr); !a.IsNull() {
+				vals = append(vals, a)
+			}
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+		dedup := vals[:0]
+		for i, val := range vals {
+			if i == 0 || !val.Equal(vals[i-1]) {
+				dedup = append(dedup, val)
+			}
+		}
+		if len(dedup) == 0 {
+			return fmt.Errorf("rpq: variable %q: attribute %q empty for label %q", v.Name, v.Attr, t.SourceLabel)
+		}
+		if maxValues > 0 && len(dedup) > maxValues {
+			sub := make([]graph.Value, maxValues)
+			step := float64(len(dedup)-1) / float64(maxValues-1)
+			for i := range sub {
+				sub[i] = dedup[int(float64(i)*step+0.5)]
+			}
+			dedup = sub
+		}
+		if v.Op == graph.OpLT || v.Op == graph.OpLE {
+			for i, j := 0, len(dedup)-1; i < j; i, j = i+1, j-1 {
+				dedup[i], dedup[j] = dedup[j], dedup[i]
+			}
+		}
+		v.Ladder = dedup
+	}
+	return nil
+}
+
+// Instantiation binds every parameter: one level per range variable
+// (Wildcard or ladder index), one flag per branch (0 = enabled, 1 =
+// disabled), and the hop-bound index. Layout: [vars..., branches..., bound].
+type Instantiation []int
+
+// arity returns the expected instantiation length.
+func (t *Template) arity() int { return len(t.Vars) + len(t.Branches) + 1 }
+
+// Root returns the most relaxed instantiation: every variable wildcarded,
+// all branches enabled, the largest hop bound.
+func (t *Template) Root() Instantiation {
+	in := make(Instantiation, t.arity())
+	for i := range t.Vars {
+		in[i] = Wildcard
+	}
+	return in // branch flags 0 (enabled), bound index 0 (largest)
+}
+
+// Validate checks an instantiation's shape.
+func (t *Template) Validate(in Instantiation) error {
+	if len(in) != t.arity() {
+		return fmt.Errorf("rpq: instantiation has %d entries, template needs %d", len(in), t.arity())
+	}
+	for vi := range t.Vars {
+		if in[vi] < Wildcard || in[vi] >= len(t.Vars[vi].Ladder) {
+			return fmt.Errorf("rpq: variable %q level %d out of range", t.Vars[vi].Name, in[vi])
+		}
+	}
+	for bi := range t.Branches {
+		f := in[len(t.Vars)+bi]
+		if f != 0 && f != 1 {
+			return fmt.Errorf("rpq: branch flag must be 0 or 1, got %d", f)
+		}
+	}
+	b := in[t.arity()-1]
+	if b < 0 || b >= len(t.Bounds) {
+		return fmt.Errorf("rpq: bound index %d out of range", b)
+	}
+	return nil
+}
+
+// Refines reports whether b refines a: every predicate at least as
+// selective, every disabled branch of a disabled in b, and b's hop bound
+// no larger.
+func (t *Template) Refines(a, b Instantiation) bool {
+	for vi := range t.Vars {
+		la, lb := a[vi], b[vi]
+		if la == lb || la == Wildcard {
+			continue
+		}
+		if lb == Wildcard || lb < la {
+			return false
+		}
+	}
+	for bi := range t.Branches {
+		if b[len(t.Vars)+bi] < a[len(t.Vars)+bi] {
+			return false
+		}
+	}
+	return b[t.arity()-1] >= a[t.arity()-1]
+}
+
+// RefineSteps returns the one-step refinements of in.
+func (t *Template) RefineSteps(in Instantiation) []Instantiation {
+	var out []Instantiation
+	step := func(i, level int) {
+		child := make(Instantiation, len(in))
+		copy(child, in)
+		child[i] = level
+		out = append(out, child)
+	}
+	for vi := range t.Vars {
+		switch {
+		case in[vi] == Wildcard:
+			if len(t.Vars[vi].Ladder) > 0 {
+				step(vi, 0)
+			}
+		case in[vi]+1 < len(t.Vars[vi].Ladder):
+			step(vi, in[vi]+1)
+		}
+	}
+	for bi := range t.Branches {
+		if in[len(t.Vars)+bi] == 0 {
+			step(len(t.Vars)+bi, 1)
+		}
+	}
+	if b := in[t.arity()-1]; b+1 < len(t.Bounds) {
+		step(t.arity()-1, b+1)
+	}
+	return out
+}
+
+// Key encodes the instantiation for maps.
+func (in Instantiation) Key() string {
+	parts := make([]string, len(in))
+	for i, v := range in {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// EnabledExpr returns the expression restricted to the enabled branches,
+// or nil when every branch is disabled (the empty language).
+func (t *Template) EnabledExpr(in Instantiation) Expr {
+	var enabled []Expr
+	for bi, br := range t.Branches {
+		if in[len(t.Vars)+bi] == 0 {
+			enabled = append(enabled, br)
+		}
+	}
+	switch len(enabled) {
+	case 0:
+		return nil
+	case 1:
+		return enabled[0]
+	default:
+		return Alt{Branches: enabled}
+	}
+}
+
+// BranchMask packs the branch flags for NFA caching.
+func (t *Template) BranchMask(in Instantiation) uint64 {
+	var mask uint64
+	for bi := range t.Branches {
+		if in[len(t.Vars)+bi] == 0 {
+			mask |= 1 << uint(bi)
+		}
+	}
+	return mask
+}
+
+// Bound returns the hop limit selected by in.
+func (t *Template) Bound(in Instantiation) int { return t.Bounds[in[t.arity()-1]] }
+
+// Sources returns the source nodes satisfying the bound literals.
+func (t *Template) Sources(g *graph.Graph, in Instantiation) []graph.NodeID {
+	var out []graph.NodeID
+	for _, v := range g.NodesByLabel(t.SourceLabel) {
+		ok := true
+		for vi := range t.Vars {
+			level := in[vi]
+			if level == Wildcard {
+				continue
+			}
+			if !t.Vars[vi].Op.Apply(g.Attr(v, t.Vars[vi].Attr), t.Vars[vi].Ladder[level]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Describe renders an instance for display.
+func (t *Template) Describe(in Instantiation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s{", t.Name)
+	for vi := range t.Vars {
+		if vi > 0 {
+			b.WriteString(", ")
+		}
+		v := &t.Vars[vi]
+		if in[vi] == Wildcard {
+			fmt.Fprintf(&b, "%s=_", v.Name)
+		} else {
+			fmt.Fprintf(&b, "%s%s%s", v.Attr, v.Op, v.Ladder[in[vi]])
+		}
+	}
+	if e := t.EnabledExpr(in); e != nil {
+		fmt.Fprintf(&b, "; path=%s", e)
+	} else {
+		b.WriteString("; path=∅")
+	}
+	fmt.Fprintf(&b, "; hops<=%d}", t.Bound(in))
+	return b.String()
+}
+
+// InstanceSpaceSize returns the number of distinct instantiations.
+func (t *Template) InstanceSpaceSize() int {
+	size := len(t.Bounds)
+	for vi := range t.Vars {
+		size *= len(t.Vars[vi].Ladder) + 1
+	}
+	for range t.Branches {
+		size *= 2
+	}
+	return size
+}

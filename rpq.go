@@ -1,0 +1,63 @@
+package fairsqg
+
+import (
+	"fairsqg/internal/rpq"
+)
+
+// The rpq types extend FairSQG to regular path queries — the query class
+// the paper's conclusion names as future work. An RPQ template selects
+// target nodes reachable from predicate-filtered source nodes along paths
+// in a regular language over edge labels, within a bounded hop count; its
+// parameters (source-predicate range variables, alternation-branch flags,
+// the hop-bound ladder) span an instance lattice with the same
+// monotonicity properties as subgraph templates, so the ε-Pareto
+// generation carries over.
+type (
+	// RPQExpr is a regular expression over edge labels.
+	RPQExpr = rpq.Expr
+	// RPQTemplate is a parameterized regular path query.
+	RPQTemplate = rpq.Template
+	// RPQInstantiation binds an RPQ template's parameters.
+	RPQInstantiation = rpq.Instantiation
+	// RPQConfig configures RPQ generation.
+	RPQConfig = rpq.Config
+	// RPQResult is an RPQ generation outcome.
+	RPQResult = rpq.Result
+	// RPQVerified is an evaluated RPQ instance.
+	RPQVerified = rpq.Verified
+)
+
+// ParsePathExpr parses a path expression: labels, '/' concatenation, '|'
+// alternation, '*', '+', '?' and parentheses (e.g. "cites/(refs|links)*").
+func ParsePathExpr(src string) (RPQExpr, error) { return rpq.Parse(src) }
+
+// NewRPQTemplate assembles an RPQ template over a source label, a path
+// expression (whose top-level alternation branches become Boolean
+// variables) and a strictly descending hop-bound ladder.
+func NewRPQTemplate(name, sourceLabel string, expr RPQExpr, bounds []int) (*RPQTemplate, error) {
+	return rpq.NewTemplate(name, sourceLabel, expr, bounds)
+}
+
+// RPQGenerator runs the RPQ generation algorithms.
+type RPQGenerator struct {
+	runner *rpq.Runner
+}
+
+// NewRPQGenerator validates the configuration and prepares a generator.
+func NewRPQGenerator(cfg *RPQConfig) (*RPQGenerator, error) {
+	r, err := rpq.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RPQGenerator{runner: r}, nil
+}
+
+// Enumerate verifies the full RPQ instance space and reduces it to an
+// ε-Pareto set.
+func (g *RPQGenerator) Enumerate() (*RPQResult, error) { return g.runner.Enumerate() }
+
+// Generate runs the refinement-based strategy with infeasibility pruning.
+func (g *RPQGenerator) Generate() (*RPQResult, error) { return g.runner.Generate() }
+
+// AllFeasible returns every feasible RPQ instance (indicator reference).
+func (g *RPQGenerator) AllFeasible() []*RPQVerified { return g.runner.AllFeasible() }

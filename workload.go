@@ -1,0 +1,128 @@
+package fairsqg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"fairsqg/internal/core"
+	"fairsqg/internal/graph"
+	"fairsqg/internal/query"
+)
+
+// Workload is a persisted set of generated query instances: the template
+// (in the DSL, with explicit value ladders) plus each suggestion's
+// bindings and measured quality. It is the artifact the benchmark
+// use case (Section IV-C of the paper) hands to downstream drivers.
+type Workload struct {
+	// Template is the DSL text of the template.
+	Template string `json:"template"`
+	// Ladders records each range variable's bound value ladder, keyed by
+	// variable name (the DSL does not carry ladders).
+	Ladders map[string][]string `json:"ladders"`
+	// Eps is the tolerance the set was generated under.
+	Eps float64 `json:"eps"`
+	// Queries are the suggested instances.
+	Queries []WorkloadQuery `json:"queries"`
+}
+
+// WorkloadQuery is one persisted suggestion.
+type WorkloadQuery struct {
+	// Bindings is the instantiation (one level per template variable, in
+	// template order; -1 is the wildcard).
+	Bindings []int `json:"bindings"`
+	// Text is the human-readable rendering.
+	Text string `json:"text"`
+	// Diversity and Coverage are the measured δ(q) and f(q).
+	Diversity float64 `json:"diversity"`
+	Coverage  float64 `json:"coverage"`
+	// Answers is |q(G)| at generation time.
+	Answers int `json:"answers"`
+}
+
+// SaveWorkload serializes a generation result.
+func SaveWorkload(w io.Writer, tpl *Template, res *Result) error {
+	return saveWorkload(w, tpl, res.Set, res.Eps)
+}
+
+// SaveOnlineWorkload serializes an online generation result.
+func SaveOnlineWorkload(w io.Writer, tpl *Template, res *OnlineResult) error {
+	return saveWorkload(w, tpl, res.Set, res.Eps)
+}
+
+func saveWorkload(w io.Writer, tpl *Template, set []*core.Verified, eps float64) error {
+	doc := Workload{
+		Template: query.Format(tpl),
+		Ladders:  map[string][]string{},
+		Eps:      eps,
+	}
+	for vi := range tpl.Vars {
+		v := &tpl.Vars[vi]
+		if v.Kind != query.RangeVar {
+			continue
+		}
+		vals := make([]string, len(v.Ladder))
+		for i, val := range v.Ladder {
+			vals[i] = val.String()
+		}
+		doc.Ladders[v.Name] = vals
+	}
+	for _, v := range set {
+		doc.Queries = append(doc.Queries, WorkloadQuery{
+			Bindings:  append([]int(nil), v.Q.I...),
+			Text:      v.Q.String(),
+			Diversity: v.Point.Div,
+			Coverage:  v.Point.Cov,
+			Answers:   len(v.Matches),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadWorkload parses a persisted workload and reconstructs the template
+// (with its ladders) and the instances. The instances can be re-answered
+// against any compatible graph with Answer.
+func LoadWorkload(r io.Reader) (*Template, []*Instance, error) {
+	var doc Workload
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("fairsqg: decoding workload: %w", err)
+	}
+	tpl, err := ParseTemplate(doc.Template)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fairsqg: workload template: %w", err)
+	}
+	for name, vals := range doc.Ladders {
+		vi := tpl.Var(name)
+		if vi < 0 {
+			return nil, nil, fmt.Errorf("fairsqg: workload ladder for unknown variable %q", name)
+		}
+		ladder := make([]Value, len(vals))
+		for i, s := range vals {
+			ladder[i] = parseWorkloadValue(s)
+		}
+		tpl.Vars[vi].Ladder = ladder
+	}
+	for vi := range tpl.Vars {
+		v := &tpl.Vars[vi]
+		if v.Kind == query.RangeVar && len(v.Ladder) == 0 {
+			return nil, nil, fmt.Errorf("fairsqg: workload missing ladder for variable %q", v.Name)
+		}
+	}
+	var instances []*Instance
+	for i, q := range doc.Queries {
+		inst, err := query.NewInstance(tpl, q.Bindings)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fairsqg: workload query %d: %w", i, err)
+		}
+		instances = append(instances, inst)
+	}
+	return tpl, instances, nil
+}
+
+func parseWorkloadValue(s string) Value {
+	// Ladder values round-trip through Value.String; ParseValue restores
+	// numbers/bools, everything else stays a string.
+	return graph.ParseValue(s)
+}

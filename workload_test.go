@@ -1,0 +1,90 @@
+package fairsqg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	g, tpl, set := publicFixture(t)
+	gen, err := NewGenerator(&Config{G: g, Template: tpl, Groups: set, Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gen.Bidirectional()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) == 0 {
+		t.Fatal("nothing to persist")
+	}
+
+	var buf bytes.Buffer
+	if err := SaveWorkload(&buf, tpl, res); err != nil {
+		t.Fatal(err)
+	}
+	tpl2, instances, err := LoadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) != len(res.Set) {
+		t.Fatalf("loaded %d instances, saved %d", len(instances), len(res.Set))
+	}
+	// Ladders survive.
+	for vi := range tpl.Vars {
+		if len(tpl2.Vars[vi].Ladder) != len(tpl.Vars[vi].Ladder) {
+			t.Fatalf("variable %s ladder lost", tpl.Vars[vi].Name)
+		}
+	}
+	// Re-answering the loaded instances reproduces the saved answers.
+	for i, inst := range instances {
+		got := Answer(g, inst)
+		if len(got) != len(res.Set[i].Matches) {
+			t.Errorf("query %d: re-answer %d matches, saved %d", i, len(got), len(res.Set[i].Matches))
+		}
+		if inst.String() != res.Set[i].Q.String() {
+			t.Errorf("query %d text drifted: %s vs %s", i, inst.String(), res.Set[i].Q.String())
+		}
+	}
+}
+
+func TestWorkloadOnlineRoundTrip(t *testing.T) {
+	g, tpl, set := publicFixture(t)
+	gen, err := NewGenerator(&Config{G: g, Template: tpl, Groups: set, Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gen.Online(NewRandomStream(tpl, 40, 2), OnlineOptions{K: 4, Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveOnlineWorkload(&buf, tpl, res); err != nil {
+		t.Fatal(err)
+	}
+	_, instances, err := LoadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) != len(res.Set) {
+		t.Errorf("round trip lost instances: %d vs %d", len(instances), len(res.Set))
+	}
+}
+
+func TestLoadWorkloadErrors(t *testing.T) {
+	cases := []string{
+		`{bad`,
+		`{"template":"nonsense"}`,
+		`{"template":"template t\nnode a Person x >= $v\noutput a","ladders":{"zz":["1"]}}`,
+		// Missing ladder for v.
+		`{"template":"template t\nnode a Person x >= $v\noutput a","ladders":{}}`,
+		// Bad bindings arity.
+		`{"template":"template t\nnode a Person x >= $v\noutput a","ladders":{"v":["1","2"]},"queries":[{"bindings":[0,0]}]}`,
+	}
+	for _, src := range cases {
+		if _, _, err := LoadWorkload(strings.NewReader(src)); err == nil {
+			t.Errorf("LoadWorkload(%q) should fail", src)
+		}
+	}
+}
