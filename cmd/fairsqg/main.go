@@ -48,6 +48,8 @@ func main() {
 	eps := flag.Float64("eps", 0.05, "ε-dominance tolerance")
 	maxPairs := flag.Int("max-pairs", 20000, "pairwise diversity sample cap")
 	distAttrs := flag.String("dist-attrs", "", "comma-separated attributes for the diversity distance")
+	matchWorkers := flag.Int("match-workers", 0, "per-instance match fan-out: 0/1 sequential, >1 concurrent engine, <0 GOMAXPROCS")
+	candCache := flag.Int("cand-cache", 0, "candidate cache entries: 0 default, <0 disabled")
 
 	k := flag.Int("k", 10, "online: result size to maintain")
 	w := flag.Int("w", 40, "online: sliding-window size")
@@ -93,6 +95,7 @@ func main() {
 
 	cfg := &fairsqg.Config{
 		G: g, Template: tpl, Groups: set, Eps: *eps, MaxPairs: *maxPairs,
+		MatchWorkers: *matchWorkers, CandCacheSize: *candCache,
 	}
 	if *distAttrs != "" {
 		cfg.DistanceAttrs = strings.Split(*distAttrs, ",")
@@ -144,6 +147,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%s: %d suggestions in %v; verified %d, pruned %d, feasible %d\n",
 		*alg, len(res.Set), res.Elapsed.Round(1000000),
 		res.Stats.Verified, res.Stats.Pruned, res.Stats.Feasible)
+	if cs := res.Stats.Cache; cs.Hits+cs.Misses > 0 {
+		fmt.Fprintf(os.Stderr, "cand-cache: %d hits / %d misses (%d evictions, %d entries)\n",
+			cs.Hits, cs.Misses, cs.Evictions, cs.Entries)
+	}
 	printSet(g, res.Set, *verbose)
 	if *save != "" {
 		if err := saveTo(*save, func(w *os.File) error {

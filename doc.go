@@ -53,6 +53,26 @@
 // Generator.ExactPareto (Kung's algorithm) and Generator.CBM (ε-constraint
 // bisection) are the evaluation baselines.
 //
+// # Performance
+//
+// Two Config knobs control how each instance's answer set is computed;
+// both leave results bit-identical to the sequential defaults:
+//
+//   - Config.MatchWorkers: 0 or 1 evaluates matches sequentially; a value
+//     above 1 routes verification through a concurrent match engine
+//     (MatchEngine) that partitions the output node's candidates across
+//     that many goroutines and merges the per-worker match sets
+//     deterministically; negative uses GOMAXPROCS workers.
+//   - Config.CandCacheSize: bounds the engine's shared LRU cache of
+//     label+predicate candidate lists, reused across the many instances of
+//     one template that share bound literals. 0 picks a default size;
+//     negative disables the cache. Hit/miss/eviction counts are reported
+//     in Stats.Cache.
+//
+// NewMatchEngine exposes the engine directly for callers that evaluate
+// instances outside a Generator; it is safe for concurrent use and honors
+// context cancellation.
+//
 // Synthetic datasets mirroring the paper's evaluation graphs and the full
 // experiment harness live in cmd/experiments; see DESIGN.md and
 // EXPERIMENTS.md.

@@ -56,6 +56,19 @@ type (
 	// VerifyEvent describes one instance verification (trace hook).
 	VerifyEvent = core.VerifyEvent
 
+	// MatchEngine is the concurrent match engine: a goroutine-safe
+	// evaluator that owns a shared candidate cache and partitions each
+	// instance's output-node candidates across a worker pool. Configure
+	// per-run engines via Config.MatchWorkers / Config.CandCacheSize; use
+	// NewMatchEngine for standalone instance evaluation.
+	MatchEngine = match.Engine
+	// MatchEngineOptions configures NewMatchEngine.
+	MatchEngineOptions = match.EngineOptions
+	// MatchEngineStats aggregates engine work counters.
+	MatchEngineStats = match.EngineStats
+	// CacheStats reports candidate-cache hit/miss/eviction counters.
+	CacheStats = match.CacheStats
+
 	// InstanceStream feeds OnlineQGen.
 	InstanceStream = core.InstanceStream
 	// OnlineOptions parameterizes online generation.
@@ -212,6 +225,12 @@ func NewSliceStream(items []*Instance) InstanceStream {
 // set q(u_o, G) under subgraph isomorphism.
 func Answer(g *Graph, q *Instance) []NodeID {
 	return match.New(g).EvalOutput(q)
+}
+
+// NewMatchEngine returns a concurrent, goroutine-safe instance evaluator
+// over a frozen graph; ParEvalOutput results are identical to Answer's.
+func NewMatchEngine(g *Graph, opts MatchEngineOptions) *MatchEngine {
+	return match.NewEngine(g, opts)
 }
 
 // Feasible reports whether an answer meets every coverage constraint.

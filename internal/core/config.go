@@ -51,6 +51,18 @@ type Config struct {
 	MaxPairs int
 	// MaxBacktrackNodes bounds matcher search per candidate (0 unbounded).
 	MaxBacktrackNodes int
+	// MatchWorkers selects how instance verification runs: 0 or 1 keeps
+	// the sequential reference Matcher; > 1 routes evaluation through a
+	// concurrent match.Engine that partitions each instance's output-node
+	// candidates across that many workers; < 0 selects GOMAXPROCS workers.
+	// Results are identical in all settings.
+	MatchWorkers int
+	// CandCacheSize bounds the shared candidate cache that memoizes the
+	// label+literal filtering phase across instances (refinement siblings
+	// share most of their predicate sets): 0 selects the default size
+	// (match.DefaultCandCacheSize entries), a negative value disables
+	// caching. Results are identical in all settings.
+	CandCacheSize int
 	// TemplateRefinement enables the Spawn optimization that restricts
 	// variable ladders to the d-hop neighborhood of the current matches.
 	// Enabled by default through NewRunner; set DisableTemplateRefinement
@@ -149,8 +161,11 @@ type Stats struct {
 	Pruned int
 	// SandwichPairs counts sandwich bounds recorded (BiQGen only).
 	SandwichPairs int
-	// Matcher carries the matcher's counters.
+	// Matcher carries the matcher's counters (sequential and engine work
+	// combined).
 	Matcher match.Stats
+	// Cache reports candidate-cache effectiveness; zero when disabled.
+	Cache match.CacheStats
 }
 
 // Verified is an evaluated instance: its answer and quality coordinates.

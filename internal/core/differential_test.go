@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"fairsqg/internal/pareto"
+)
+
+// differentialConfigs enumerates the engine knob settings the core
+// differential suite compares against the sequential reference: workers in
+// {1, 4, GOMAXPROCS} with the candidate cache on and off. Workers=1 with
+// cache on exercises the cached sequential path.
+func differentialConfigs() []struct {
+	name    string
+	workers int
+	cache   int
+} {
+	var out []struct {
+		name    string
+		workers int
+		cache   int
+	}
+	seen := map[int]bool{}
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		for _, cache := range []int{0, -1} {
+			label := fmt.Sprintf("workers=%d/cache=%d", w, cache)
+			out = append(out, struct {
+				name    string
+				workers int
+				cache   int
+			}{label, w, cache})
+		}
+	}
+	return out
+}
+
+// archiveFingerprint renders a result set into a canonical comparable form:
+// instance keys with their points and match sets, in collectSet order.
+func archiveFingerprint(set []*Verified) []string {
+	out := make([]string, len(set))
+	for i, v := range set {
+		out[i] = fmt.Sprintf("%s|%.9f|%.9f|%v", v.Q.Key(), v.Point.Div, v.Point.Cov, v.Matches)
+	}
+	return out
+}
+
+// runAll exercises every offline algorithm on one config and returns the
+// per-algorithm fingerprints.
+func runAll(t *testing.T, cfg *Config) map[string][]string {
+	t.Helper()
+	r := newRunnerT(t, cfg)
+	out := map[string][]string{}
+	for _, alg := range []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"enum", r.EnumQGen},
+		{"rf", r.RfQGen},
+		{"bi", r.BiQGen},
+		// One slab worker keeps archive arrival order deterministic (slab
+		// concurrency reorders same-box ties); the match-engine fan-out
+		// under test runs inside verification and merges deterministically.
+		{"par", func() (*Result, error) { return r.ParQGen(1) }},
+	} {
+		res, err := alg.run()
+		if err != nil {
+			t.Fatalf("%s: %v", alg.name, err)
+		}
+		out[alg.name] = archiveFingerprint(res.Set)
+	}
+	return out
+}
+
+// TestDifferentialEngineVsSequential runs the full algorithm suite on the
+// canonical fixture under every engine configuration and asserts the
+// ε-Pareto archives (instance keys, points, match sets, order) are
+// identical to the sequential reference. The fixture seed is logged so a
+// divergence reproduces.
+func TestDifferentialEngineVsSequential(t *testing.T) {
+	const seed = 4
+	g := fixtureGraph(t, seed)
+	base := fixtureConfig(t, g, 0.3, 3)
+	ref := runAll(t, base)
+	for _, dc := range differentialConfigs() {
+		cfg := *base
+		cfg.MatchWorkers = dc.workers
+		cfg.CandCacheSize = dc.cache
+		got := runAll(t, &cfg)
+		for alg, want := range ref {
+			if !equalStrings(got[alg], want) {
+				t.Errorf("seed %d: %s: %s archive diverged from sequential reference:\ngot  %v\nwant %v",
+					seed, dc.name, alg, got[alg], want)
+			}
+		}
+	}
+}
+
+// TestDifferentialOnline asserts OnlineQGen yields the identical final set,
+// ε and eps history under every engine configuration: the stream order is
+// fixed, so verification results are the only way configurations could
+// diverge.
+func TestDifferentialOnline(t *testing.T) {
+	const seed = 4
+	g := fixtureGraph(t, seed)
+	base := fixtureConfig(t, g, 0.3, 3)
+	run := func(cfg *Config) ([]string, float64) {
+		r := newRunnerT(t, cfg)
+		stream := NewRandomStream(cfg.Template, 120, 99)
+		res, err := r.OnlineQGen(stream, OnlineOptions{K: 5, Window: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return archiveFingerprint(res.Set), res.Eps
+	}
+	wantSet, wantEps := run(base)
+	for _, dc := range differentialConfigs() {
+		cfg := *base
+		cfg.MatchWorkers = dc.workers
+		cfg.CandCacheSize = dc.cache
+		gotSet, gotEps := run(&cfg)
+		if gotEps != wantEps || !equalStrings(gotSet, wantSet) {
+			t.Errorf("seed %d: %s: online run diverged (eps %v vs %v)\ngot  %v\nwant %v",
+				seed, dc.name, gotEps, wantEps, gotSet, wantSet)
+		}
+	}
+}
+
+// TestDifferentialMultiOutput covers the multi-output verification path,
+// which routes through ParEvalNodeFiltered when the engine is enabled.
+func TestDifferentialMultiOutput(t *testing.T) {
+	const seed = 50
+	base := multiOutputConfig(t, seed)
+	run := func(cfg *Config) []string {
+		r := newRunnerT(t, cfg)
+		res, err := r.RfQGen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return archiveFingerprint(res.Set)
+	}
+	want := run(base)
+	for _, dc := range differentialConfigs() {
+		cfg := *base
+		cfg.MatchWorkers = dc.workers
+		cfg.CandCacheSize = dc.cache
+		if got := run(&cfg); !equalStrings(got, want) {
+			t.Errorf("seed %d: %s: multi-output archive diverged:\ngot  %v\nwant %v",
+				seed, dc.name, got, want)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParetoArchiveParityParQGen double-checks that ParQGen with the
+// concurrent engine still satisfies the ε-Pareto contract against the full
+// feasible space (Theorem 2), not just equality with the sequential run.
+func TestParetoArchiveParityParQGen(t *testing.T) {
+	g := fixtureGraph(t, 4)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	cfg.MatchWorkers = 4
+	r := newRunnerT(t, cfg)
+	all, err := r.AllFeasible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]pareto.Point, len(all))
+	for i, v := range all {
+		ref[i] = v.Point
+	}
+	res, err := r.ParQGen(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pareto.NewArchive[*Verified](cfg.Eps)
+	for _, v := range res.Set {
+		a.Update(v.Point, v)
+	}
+	if !a.EpsDominatesAll(ref) {
+		t.Error("ParQGen(engine) set does not ε-dominate the feasible space")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"fairsqg/internal/graph"
@@ -18,6 +19,11 @@ import (
 type Runner struct {
 	cfg     *Config
 	matcher *match.Matcher
+	// engine, when non-nil (Config.MatchWorkers > 1 or < 0), evaluates
+	// instances concurrently; the sequential matcher stays the reference
+	// implementation and still handles multi-output evaluation. Matcher and
+	// engine share one candidate cache so either path warms the other.
+	engine  *match.Engine
 	div     *measure.Diversity
 	cache   map[string]*Verified
 	stats   Stats
@@ -34,6 +40,12 @@ func NewRunner(cfg *Config) (*Runner, error) {
 	m := match.New(cfg.G)
 	m.Mode = cfg.Mode
 	m.MaxBacktrackNodes = cfg.MaxBacktrackNodes
+	engine := newConfigEngine(cfg)
+	if engine != nil {
+		m.Cache = engine.Cache()
+	} else if cfg.CandCacheSize >= 0 {
+		m.Cache = match.NewCandidateCache(cfg.CandCacheSize)
+	}
 	outLabel := cfg.Template.Nodes[cfg.Template.Output].Label
 	var extraNodes []int
 	population := cfg.G.CountLabel(outLabel)
@@ -72,10 +84,34 @@ func NewRunner(cfg *Config) (*Runner, error) {
 	return &Runner{
 		cfg:        cfg,
 		matcher:    m,
+		engine:     engine,
 		div:        div,
 		cache:      make(map[string]*Verified),
 		extraNodes: extraNodes,
 	}, nil
+}
+
+// newConfigEngine builds the concurrent match engine a configuration asks
+// for, or nil when the sequential reference path is selected.
+func newConfigEngine(cfg *Config) *match.Engine {
+	if cfg.MatchWorkers == 0 || cfg.MatchWorkers == 1 {
+		return nil
+	}
+	return match.NewEngine(cfg.G, match.EngineOptions{
+		Mode:              cfg.Mode,
+		MaxBacktrackNodes: cfg.MaxBacktrackNodes,
+		Workers:           cfg.MatchWorkers,
+		CandCacheSize:     cfg.CandCacheSize,
+	})
+}
+
+// adoptEngine makes a worker Runner share the parent's engine and
+// candidate cache, so concurrent lattice exploration (ParQGen) reuses one
+// pool of matcher scratch states and one warm filter cache instead of
+// rebuilding per-node candidate sets cache-cold in every worker.
+func (r *Runner) adoptEngine(parent *Runner) {
+	r.engine = parent.engine
+	r.matcher.Cache = parent.matcher.Cache
 }
 
 // Config returns the runner's configuration.
@@ -87,19 +123,37 @@ func (r *Runner) DivMax() float64 { return r.div.MaxValue() }
 // CovMax returns the coverage upper bound C = Σ c_i.
 func (r *Runner) CovMax() float64 { return measure.CoverageMax(r.cfg.Groups) }
 
-// Stats returns the counters accumulated so far (matcher stats included).
+// Stats returns the counters accumulated so far (matcher, engine and
+// candidate-cache stats included).
 func (r *Runner) Stats() Stats {
 	s := r.stats
 	s.Matcher = r.matcher.Stats
+	if r.engine != nil {
+		es := r.engine.Stats()
+		s.Matcher.Evals += int(es.Evals)
+		s.Matcher.CandidatesChecked += int(es.CandidatesChecked)
+		s.Matcher.BacktrackNodes += int(es.BacktrackNodes)
+		s.Cache = es.Cache
+	} else if r.matcher.Cache != nil {
+		s.Cache = r.matcher.Cache.Stats()
+	}
 	return s
 }
 
 // resetStats clears counters between algorithm invocations on one Runner.
+// The engine is rebuilt (its counters are cumulative) and the candidate
+// cache dropped, so every run reports its own, cold-start numbers.
 func (r *Runner) resetStats() {
 	r.stats = Stats{}
 	r.matcher.Stats = match.Stats{}
 	r.verSeq = 0
 	r.cache = make(map[string]*Verified)
+	if r.engine != nil {
+		r.engine = newConfigEngine(r.cfg)
+		r.matcher.Cache = r.engine.Cache()
+	} else if r.matcher.Cache != nil {
+		r.matcher.Cache.Reset()
+	}
 }
 
 // verify evaluates an instance: q(G), δ(q), f(q) and feasibility. When the
@@ -130,7 +184,15 @@ func (r *Runner) verify(q *query.Instance, parent *Verified) *Verified {
 				return measure.Feasible(r.cfg.Groups, cands)
 			}
 		}
-		matches, ok := r.matcher.EvalOutputFiltered(q, within, accept)
+		var matches []graph.NodeID
+		var ok bool
+		if r.engine != nil {
+			// context.Background never cancels, so the error is always nil;
+			// callers needing deadline aborts drive the engine directly.
+			matches, ok, _ = r.engine.ParEvalOutputFiltered(context.Background(), q, within, accept)
+		} else {
+			matches, ok = r.matcher.EvalOutputFiltered(q, within, accept)
+		}
 		v = &Verified{Q: q, Matches: matches}
 		v.Feasible = ok && measure.Feasible(r.cfg.Groups, matches)
 	}
@@ -199,7 +261,12 @@ func (r *Runner) verifyMultiOutput(q *query.Instance, parent *Verified) *Verifie
 				within = nil
 			}
 		}
-		matches, _ := r.matcher.EvalNodeFiltered(q, ni, within, nil)
+		var matches []graph.NodeID
+		if r.engine != nil {
+			matches, _, _ = r.engine.ParEvalNodeFiltered(context.Background(), q, ni, within, nil)
+		} else {
+			matches, _ = r.matcher.EvalNodeFiltered(q, ni, within, nil)
+		}
 		v.PerNode[ni] = matches
 		for _, m := range matches {
 			unionSet[m] = true

@@ -27,6 +27,7 @@ func (r *Runner) ParQGen(workers int) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	r.resetStats()
 	start := time.Now()
 	t := r.cfg.Template
 	splitVar := pickSplitVariable(t)
@@ -66,8 +67,11 @@ func (r *Runner) ParQGen(workers int) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Each worker owns an independent Runner (the matcher and the
-			// verification cache are not safe for concurrent use).
+			// Each worker owns an independent Runner (the sequential matcher
+			// scratch and the verification cache are not safe for concurrent
+			// use) but adopts the parent's engine and candidate cache, which
+			// are: slab workers share one warm filter cache and one pool of
+			// matcher scratch states.
 			local, err := NewRunner(r.cfg)
 			if err != nil {
 				firstMu.Lock()
@@ -77,19 +81,21 @@ func (r *Runner) ParQGen(workers int) (*Result, error) {
 				firstMu.Unlock()
 				return
 			}
+			local.adoptEngine(r)
 			sp := newSpawner(local)
 			for level := range jobs {
 				exploreSlab(local, sp, splitVar, level, archive, &mu)
 			}
 			mu.Lock()
-			s := local.Stats()
-			total.Spawned += s.Spawned
-			total.Verified += s.Verified
-			total.Feasible += s.Feasible
-			total.Pruned += s.Pruned
-			total.Matcher.Evals += s.Matcher.Evals
-			total.Matcher.CandidatesChecked += s.Matcher.CandidatesChecked
-			total.Matcher.BacktrackNodes += s.Matcher.BacktrackNodes
+			// Sum the worker-private counters only; shared engine/cache
+			// counters are folded in once after all workers finish.
+			total.Spawned += local.stats.Spawned
+			total.Verified += local.stats.Verified
+			total.Feasible += local.stats.Feasible
+			total.Pruned += local.stats.Pruned
+			total.Matcher.Evals += local.matcher.Stats.Evals
+			total.Matcher.CandidatesChecked += local.matcher.Stats.CandidatesChecked
+			total.Matcher.BacktrackNodes += local.matcher.Stats.BacktrackNodes
 			mu.Unlock()
 		}()
 	}
@@ -100,6 +106,15 @@ func (r *Runner) ParQGen(workers int) (*Result, error) {
 	wg.Wait()
 	if callErr != nil {
 		return nil, fmt.Errorf("core: ParQGen worker: %w", callErr)
+	}
+	if r.engine != nil {
+		es := r.engine.Stats()
+		total.Matcher.Evals += int(es.Evals)
+		total.Matcher.CandidatesChecked += int(es.CandidatesChecked)
+		total.Matcher.BacktrackNodes += int(es.BacktrackNodes)
+		total.Cache = es.Cache
+	} else if r.matcher.Cache != nil {
+		total.Cache = r.matcher.Cache.Stats()
 	}
 	mu.Lock()
 	set := collectSet(archive)

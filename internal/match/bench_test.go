@@ -1,6 +1,8 @@
 package match
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"fairsqg/internal/query"
@@ -31,6 +33,72 @@ func BenchmarkEvalOutputIncremental(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.EvalOutputWithin(mid, within)
+	}
+}
+
+// BenchmarkEngineWorkload sweeps the full instantiation lattice of the
+// largest bench graph — the unit of work one generation run performs —
+// through the sequential matcher and the engine at several worker/cache
+// settings. The shared candidate cache is what pays off here: the lattice
+// re-filters the same label+literal candidate lists for every instance
+// that shares bound predicates.
+func BenchmarkEngineWorkload(b *testing.B) {
+	g := randomGraph(b, 3000, 12000, 7)
+	tpl := randomTemplate(b, g)
+	var qs []*query.Instance
+	for _, in := range allInstantiations(tpl) {
+		qs = append(qs, query.MustInstance(tpl, in))
+	}
+	b.Run("sequential", func(b *testing.B) {
+		m := New(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				m.EvalOutput(q)
+			}
+		}
+	})
+	for _, c := range []struct {
+		workers, cache int
+	}{{1, -1}, {1, 0}, {4, -1}, {4, 0}} {
+		name := fmt.Sprintf("engine/workers=%d/cache=%v", c.workers, c.cache >= 0)
+		b.Run(name, func(b *testing.B) {
+			e := NewEngine(g, EngineOptions{Workers: c.workers, CandCacheSize: c.cache})
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					if _, err := e.ParEvalOutput(ctx, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineNodeOnly isolates the scan-bound path on the largest
+// bench graph: single-node instances are pure label+literal filters, so
+// the candidate cache converts each repeat evaluation from a full label
+// scan into a lookup plus copy.
+func BenchmarkEngineNodeOnly(b *testing.B) {
+	g := randomGraph(b, 3000, 12000, 7)
+	tpl := randomTemplate(b, g)
+	solo := query.MustInstance(tpl, query.Instantiation{1, 1, 0, 0})
+	for _, c := range []struct {
+		workers, cache int
+	}{{4, -1}, {4, 0}} {
+		name := fmt.Sprintf("workers=%d/cache=%v", c.workers, c.cache >= 0)
+		b.Run(name, func(b *testing.B) {
+			e := NewEngine(g, EngineOptions{Workers: c.workers, CandCacheSize: c.cache})
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ParEvalOutput(ctx, solo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

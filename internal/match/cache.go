@@ -1,0 +1,141 @@
+package match
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/query"
+)
+
+// DefaultCandCacheSize is the candidate-cache capacity used when a caller
+// asks for a cache without choosing a size.
+const DefaultCandCacheSize = 4096
+
+// CacheStats reports candidate-cache effectiveness.
+type CacheStats struct {
+	// Hits counts lookups answered from the cache.
+	Hits int64
+	// Misses counts lookups that had to fall back to a full scan.
+	Misses int64
+	// Evictions counts entries dropped to stay within capacity.
+	Evictions int64
+	// Entries is the current number of cached candidate lists.
+	Entries int
+}
+
+// CandidateCache memoizes the label+literal filtering phase of plan
+// construction: the key canonicalizes a template node's (label, bound
+// literals) pair, the value is the filtered candidate list over one frozen
+// graph. Refinement siblings share most of their bound-literal sets, so a
+// shared cache lets them reuse nodeSatisfies scans instead of re-filtering
+// the label's whole node list. The cache is bounded (LRU) and safe for
+// concurrent use; cached slices are treated as immutable and callers must
+// copy before mutating.
+type CandidateCache struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key   string
+	cands []graph.NodeID
+}
+
+// NewCandidateCache returns an empty cache holding at most capacity
+// candidate lists; capacity <= 0 selects DefaultCandCacheSize.
+func NewCandidateCache(capacity int) *CandidateCache {
+	if capacity <= 0 {
+		capacity = DefaultCandCacheSize
+	}
+	return &CandidateCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// candKey canonicalizes a (node label, bound literals) pair: literals are
+// sorted by (attr, op, value) so textual permutations of the same predicate
+// set share one entry. Value kinds are encoded to keep Str("1") distinct
+// from Int(1).
+func candKey(label string, lits []query.BoundLiteral) string {
+	parts := make([]string, len(lits))
+	for i, l := range lits {
+		parts[i] = l.Attr + "\x01" + l.Op.String() + "\x01" +
+			strconv.Itoa(int(l.Value.Kind())) + "\x01" + l.Value.String()
+	}
+	sort.Strings(parts)
+	var b strings.Builder
+	b.Grow(len(label) + 16*len(parts))
+	b.WriteString(label)
+	for _, p := range parts {
+		b.WriteByte('\x00')
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// lookup returns the cached candidate list for key; the returned slice must
+// not be mutated.
+func (c *CandidateCache) lookup(key string) ([]graph.NodeID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).cands, true
+}
+
+// store records a candidate list for key, evicting the least recently used
+// entry when over capacity. The slice is retained; callers must not mutate
+// it afterwards.
+func (c *CandidateCache) store(key string, cands []graph.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent eval computed the same list; keep the incumbent.
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, cands: cands})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *CandidateCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.order.Len(),
+	}
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *CandidateCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}

@@ -1,0 +1,239 @@
+package match
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/query"
+)
+
+func allInstantiations(t *query.Template) []query.Instantiation {
+	var out []query.Instantiation
+	var rec func(in query.Instantiation, vi int)
+	rec = func(in query.Instantiation, vi int) {
+		if vi == len(t.Vars) {
+			out = append(out, in.Clone())
+			return
+		}
+		v := &t.Vars[vi]
+		if v.Kind == query.EdgeVar {
+			for _, l := range []int{0, 1} {
+				in[vi] = l
+				rec(in, vi+1)
+			}
+			return
+		}
+		for l := query.Wildcard; l < len(v.Ladder); l++ {
+			in[vi] = l
+			rec(in, vi+1)
+		}
+	}
+	rec(make(query.Instantiation, len(t.Vars)), 0)
+	return out
+}
+
+func TestParEvalOutputMatchesSequentialTalent(t *testing.T) {
+	g := talentGraph(t)
+	tpl := talentTpl(t)
+	m := New(g)
+	e := NewEngine(g, EngineOptions{Workers: 4})
+	for _, in := range allInstantiations(tpl) {
+		q := query.MustInstance(tpl, in)
+		want := m.EvalOutput(q)
+		got, err := e.ParEvalOutput(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: engine %v, matcher %v", q, got, want)
+		}
+	}
+}
+
+func TestParEvalOutputWithin(t *testing.T) {
+	g := talentGraph(t)
+	tpl := talentTpl(t)
+	e := NewEngine(g, EngineOptions{Workers: 4})
+	q := query.MustInstance(tpl, query.Instantiation{0, 0, 1})
+	full, err := e.ParEvalOutput(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, err := e.ParEvalOutputWithin(context.Background(), q, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, within) {
+		t.Errorf("within(full) = %v, want %v", within, full)
+	}
+	sub, err := e.ParEvalOutputWithin(context.Background(), q, ids(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sub, ids(1)) {
+		t.Errorf("within([1]) = %v", sub)
+	}
+}
+
+func TestParEvalOutputFilteredVeto(t *testing.T) {
+	g := talentGraph(t)
+	tpl := talentTpl(t)
+	e := NewEngine(g, EngineOptions{Workers: 4})
+	q := query.MustInstance(tpl, query.Instantiation{0, 0, 1})
+	var sawCands int
+	matches, ok, err := e.ParEvalOutputFiltered(context.Background(), q, nil,
+		func(cands []graph.NodeID) bool { sawCands = len(cands); return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || matches != nil {
+		t.Errorf("vetoed eval returned ok=%v matches=%v", ok, matches)
+	}
+	if sawCands == 0 {
+		t.Error("accept saw no candidates")
+	}
+}
+
+func TestParEvalCancellation(t *testing.T) {
+	g := randomGraph(t, 1000, 4000, 11)
+	tpl := randomTemplate(t, g)
+	e := NewEngine(g, EngineOptions{Workers: 4})
+	q := query.MustInstance(tpl, query.Instantiation{0, 0, 1, 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the evaluation must abort, not complete
+	if _, err := e.ParEvalOutput(ctx, q); err != context.Canceled {
+		t.Fatalf("cancelled eval returned err=%v, want context.Canceled", err)
+	}
+	// The engine stays usable after an aborted evaluation.
+	m := New(g)
+	want := m.EvalOutput(q)
+	got, err := e.ParEvalOutput(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-abort eval %v, want %v", got, want)
+	}
+}
+
+func TestEngineCacheStats(t *testing.T) {
+	g := talentGraph(t)
+	tpl := talentTpl(t)
+	e := NewEngine(g, EngineOptions{Workers: 2})
+	q := query.MustInstance(tpl, query.Instantiation{0, 0, 1})
+	if _, err := e.ParEvalOutput(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	first := e.Stats()
+	if first.Cache.Misses == 0 {
+		t.Fatalf("first eval recorded no cache misses: %+v", first.Cache)
+	}
+	if _, err := e.ParEvalOutput(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	second := e.Stats()
+	if second.Cache.Hits == 0 {
+		t.Fatalf("repeat eval recorded no cache hits: %+v", second.Cache)
+	}
+	if second.Cache.Misses != first.Cache.Misses {
+		t.Errorf("repeat eval missed: %d -> %d", first.Cache.Misses, second.Cache.Misses)
+	}
+	if second.ParEvals != 2 || second.Evals != 2 {
+		t.Errorf("counters: %+v", second)
+	}
+}
+
+func TestEngineCacheDisabled(t *testing.T) {
+	g := talentGraph(t)
+	e := NewEngine(g, EngineOptions{Workers: 2, CandCacheSize: -1})
+	if e.Cache() != nil {
+		t.Fatal("CandCacheSize < 0 should disable the cache")
+	}
+	q := query.MustInstance(talentTpl(t), query.Instantiation{0, 0, 1})
+	want := New(g).EvalOutput(q)
+	got, err := e.ParEvalOutput(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("uncached engine %v, want %v", got, want)
+	}
+}
+
+func TestEngineConcurrentUse(t *testing.T) {
+	g := randomGraph(t, 300, 900, 7)
+	tpl := randomTemplate(t, g)
+	e := NewEngine(g, EngineOptions{Workers: 4, CandCacheSize: 64})
+	ins := allInstantiations(tpl)
+	want := make([][]graph.NodeID, len(ins))
+	m := New(g)
+	qs := make([]*query.Instance, len(ins))
+	for i, in := range ins {
+		qs[i] = query.MustInstance(tpl, in)
+		want[i] = m.EvalOutput(qs[i])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, q := range qs {
+				got, err := e.ParEvalOutput(context.Background(), q)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if !reflect.DeepEqual(got, want[i]) {
+					t.Errorf("goroutine %d: %s: %v != %v", w, q, got, want[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCandidateCacheLRUEviction(t *testing.T) {
+	c := NewCandidateCache(2)
+	c.store("a", ids(1))
+	c.store("b", ids(2))
+	if _, ok := c.lookup("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.store("c", ids(3))
+	if _, ok := c.lookup("b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	if _, ok := c.lookup("a"); !ok {
+		t.Error("a should have survived")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestCandKeyCanonicalizesLiteralOrder(t *testing.T) {
+	a := query.BoundLiteral{Attr: "x", Op: graph.OpGE, Value: graph.Int(3)}
+	b := query.BoundLiteral{Attr: "y", Op: graph.OpLE, Value: graph.Str("q")}
+	k1 := candKey("Person", []query.BoundLiteral{a, b})
+	k2 := candKey("Person", []query.BoundLiteral{b, a})
+	if k1 != k2 {
+		t.Errorf("literal order changed the key:\n%q\n%q", k1, k2)
+	}
+	// Distinct value kinds must stay distinct even with equal renderings.
+	k3 := candKey("Person", []query.BoundLiteral{{Attr: "x", Op: graph.OpEQ, Value: graph.Str("1")}})
+	k4 := candKey("Person", []query.BoundLiteral{{Attr: "x", Op: graph.OpEQ, Value: graph.Int(1)}})
+	if k3 == k4 {
+		t.Error("Str(\"1\") and Int(1) share a cache key")
+	}
+}

@@ -7,6 +7,7 @@
 package match
 
 import (
+	"context"
 	"sort"
 
 	"fairsqg/internal/graph"
@@ -33,8 +34,13 @@ type Stats struct {
 	BacktrackNodes int
 }
 
-// Matcher evaluates query instances against one frozen graph. A Matcher is
-// not safe for concurrent use; create one per goroutine.
+// Matcher evaluates query instances against one frozen graph.
+//
+// A Matcher's mutable state (Stats, the backtracking scratch) is NOT safe
+// for concurrent use: create one Matcher per goroutine, or use Engine,
+// which maintains a pool of per-goroutine Matchers behind a goroutine-safe
+// API. The frozen Graph and an attached CandidateCache are themselves safe
+// to share between any number of Matchers.
 type Matcher struct {
 	G    *graph.Graph
 	Mode Mode
@@ -42,8 +48,19 @@ type Matcher struct {
 	// candidate; 0 means unbounded. When the bound trips the candidate is
 	// conservatively reported as a non-match.
 	MaxBacktrackNodes int
+	// Cache, when non-nil, memoizes the label+literal candidate filtering
+	// phase across evaluations (and across Matchers sharing the cache).
+	// Results are unchanged; only repeated nodeSatisfies scans are skipped.
+	Cache *CandidateCache
 
 	Stats Stats
+
+	// ctx, when non-nil, is polled during backtracking so deadline/cancel
+	// aborts propagate through extend; set via bind or by Engine.
+	ctx context.Context
+	// aborted records that ctx fired mid-evaluation: the evaluation's
+	// result is a conservative partial answer and must be discarded.
+	aborted bool
 
 	// scratch reused across evaluations
 	used map[graph.NodeID]bool
@@ -177,21 +194,20 @@ func (m *Matcher) buildPlan(q *query.Instance, pin int, within []graph.NodeID) *
 	p.candSet = make([]map[graph.NodeID]bool, len(p.nodes))
 	pinIdx := p.nodePos[pin]
 	for i, ni := range p.nodes {
-		var base []graph.NodeID
-		if i == pinIdx && within != nil {
-			base = within
-		} else {
-			base = m.G.NodesByLabel(t.Nodes[ni].Label)
-		}
 		lits := q.BoundLiterals(ni)
-		cands := make([]graph.NodeID, 0, len(base))
-		for _, v := range base {
-			if i == pinIdx && within != nil && m.G.Label(v) != t.Nodes[ni].Label {
-				continue
+		var cands []graph.NodeID
+		if i == pinIdx && within != nil {
+			cands = make([]graph.NodeID, 0, len(within))
+			for _, v := range within {
+				if m.G.Label(v) != t.Nodes[ni].Label {
+					continue
+				}
+				if nodeSatisfies(m.G, v, lits) {
+					cands = append(cands, v)
+				}
 			}
-			if nodeSatisfies(m.G, v, lits) {
-				cands = append(cands, v)
-			}
+		} else {
+			cands = m.filteredCandidates(t.Nodes[ni].Label, lits)
 		}
 		if len(cands) == 0 {
 			return nil
@@ -203,6 +219,40 @@ func (m *Matcher) buildPlan(q *query.Instance, pin int, within []graph.NodeID) *
 	}
 	p.order = matchingOrder(p, pinIdx)
 	return p
+}
+
+// filteredCandidates returns the label's nodes filtered by lits, consulting
+// the candidate cache when attached. Cached lists are immutable, so both
+// the stored list and the returned list are private copies (propagate
+// prunes plan candidate slices in place).
+func (m *Matcher) filteredCandidates(label string, lits []query.BoundLiteral) []graph.NodeID {
+	if m.Cache == nil {
+		base := m.G.NodesByLabel(label)
+		cands := make([]graph.NodeID, 0, len(base))
+		for _, v := range base {
+			if nodeSatisfies(m.G, v, lits) {
+				cands = append(cands, v)
+			}
+		}
+		return cands
+	}
+	key := candKey(label, lits)
+	if cached, ok := m.Cache.lookup(key); ok {
+		out := make([]graph.NodeID, len(cached))
+		copy(out, cached)
+		return out
+	}
+	base := m.G.NodesByLabel(label)
+	cands := make([]graph.NodeID, 0, len(base))
+	for _, v := range base {
+		if nodeSatisfies(m.G, v, lits) {
+			cands = append(cands, v)
+		}
+	}
+	stored := make([]graph.NodeID, len(cands))
+	copy(stored, cands)
+	m.Cache.store(key, stored)
+	return cands
 }
 
 // nodeSatisfies checks all bound literals of a template node against v.
@@ -221,6 +271,12 @@ func nodeSatisfies(g *graph.Graph, v graph.NodeID, lits []query.BoundLiteral) bo
 // candidate set empties.
 func (m *Matcher) propagate(p *plan) bool {
 	for i := range p.cands {
+		// Only nodes referenced by a constraint edge need the set form;
+		// skipping the rest makes single-node plans map-free.
+		if len(p.adj[i]) == 0 {
+			p.candSet[i] = nil
+			continue
+		}
 		set := make(map[graph.NodeID]bool, len(p.cands[i]))
 		for _, v := range p.cands[i] {
 			set[v] = true
@@ -315,6 +371,24 @@ func matchingOrder(p *plan, outIdx int) []int {
 	return order
 }
 
+// cancelCheckMask throttles context polling to one check per 256 expanded
+// search-tree nodes: frequent enough for prompt deadline aborts, rare
+// enough to keep the uncancellable hot path unaffected.
+const cancelCheckMask = 255
+
+// bindContext attaches a cancellation context for subsequent evaluations
+// and clears any prior abort; Engine calls it before driving a pooled
+// Matcher. A nil ctx disables polling.
+func (m *Matcher) bindContext(ctx context.Context) {
+	m.ctx = ctx
+	m.aborted = false
+}
+
+// Aborted reports whether the last evaluation was cut short by context
+// cancellation; an aborted evaluation's result is partial and must be
+// discarded.
+func (m *Matcher) Aborted() bool { return m.aborted }
+
 // embedFrom checks whether a full matching exists with the output node
 // pinned to v.
 func (m *Matcher) embedFrom(p *plan, v graph.NodeID) bool {
@@ -342,6 +416,19 @@ func (m *Matcher) extend(p *plan, assign []graph.NodeID, depth, budget int) (boo
 	}
 	ui := p.order[depth]
 	m.Stats.BacktrackNodes++
+	if m.aborted {
+		return false, budget
+	}
+	if m.ctx != nil && m.Stats.BacktrackNodes&cancelCheckMask == 0 {
+		select {
+		case <-m.ctx.Done():
+			// Unwind the whole search: every ancestor sees aborted and
+			// stops trying siblings, so the abort propagates in O(depth).
+			m.aborted = true
+			return false, budget
+		default:
+		}
+	}
 	if budget != 0 {
 		budget--
 		if budget == 0 {

@@ -238,10 +238,11 @@ func TestNewRequiresFrozen(t *testing.T) {
 // random refinement chains, evaluating a child restricted to its parent's
 // match set equals evaluating it from scratch.
 func TestIncrementalEqualsScratch(t *testing.T) {
-	g := randomGraph(t, 300, 900, 42)
+	const graphSeed, chainSeed = 42, 99 // fixed and logged so failures reproduce
+	g := randomGraph(t, 300, 900, graphSeed)
 	tpl := randomTemplate(t, g)
 	m := New(g)
-	rng := rand.New(rand.NewSource(99))
+	rng := rand.New(rand.NewSource(chainSeed))
 	for trial := 0; trial < 60; trial++ {
 		in := query.Root(tpl)
 		parentMatches := m.EvalOutput(query.MustInstance(tpl, in))
@@ -255,8 +256,8 @@ func TestIncrementalEqualsScratch(t *testing.T) {
 			scratch := m.EvalOutput(q)
 			inc := m.EvalOutputWithin(q, parentMatches)
 			if !reflect.DeepEqual(scratch, inc) {
-				t.Fatalf("trial %d step %d: scratch %v != incremental %v for %s",
-					trial, step, scratch, inc, q)
+				t.Fatalf("seeds %d/%d trial %d step %d: scratch %v != incremental %v for %s",
+					graphSeed, chainSeed, trial, step, scratch, inc, q)
 			}
 			// Lemma 2: matches shrink along refinement.
 			if len(scratch) > len(parentMatches) {

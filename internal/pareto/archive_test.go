@@ -45,14 +45,15 @@ func TestArchiveUpdateCases(t *testing.T) {
 }
 
 func TestArchiveClassifyMatchesUpdate(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	const seed = 5 // fixed and logged so a failing iteration reproduces
+	rng := rand.New(rand.NewSource(seed))
 	a := NewArchive[int](0.3)
 	for i := 0; i < 500; i++ {
 		p := Point{Div: float64(rng.Intn(40)), Cov: float64(rng.Intn(40))}
 		want := a.Classify(p)
 		got := a.Update(p, i)
 		if got.Case != want {
-			t.Fatalf("iteration %d: Classify=%v Update=%v for %v", i, want, got.Case, p)
+			t.Fatalf("seed %d iteration %d: Classify=%v Update=%v for %v", seed, i, want, got.Case, p)
 		}
 	}
 }
@@ -61,8 +62,9 @@ func TestArchiveClassifyMatchesUpdate(t *testing.T) {
 // entries are mutually box-non-dominated, every offered point is
 // ε-dominated by some entry, and the size bound holds.
 func TestArchiveInvariants(t *testing.T) {
+	const seed = 77 // fixed and logged so a failing stream reproduces
 	for _, eps := range []float64{0.05, 0.2, 0.5, 1.0} {
-		rng := rand.New(rand.NewSource(77))
+		rng := rand.New(rand.NewSource(seed))
 		a := NewArchive[int](eps)
 		var seen []Point
 		maxVal := 60.0
@@ -75,19 +77,19 @@ func TestArchiveInvariants(t *testing.T) {
 			for x := range es {
 				for y := range es {
 					if x != y && es[x].Box.WeaklyDominates(es[y].Box) {
-						t.Fatalf("eps=%v: archive boxes %v ⪰ %v", eps, es[x].Box, es[y].Box)
+						t.Fatalf("seed %d eps=%v: archive boxes %v ⪰ %v", seed, eps, es[x].Box, es[y].Box)
 					}
 				}
 			}
 			// (2) ε-domination of everything seen.
 			if !a.EpsDominatesAll(seen) {
-				t.Fatalf("eps=%v iter %d: archive does not ε-dominate the stream", eps, i)
+				t.Fatalf("seed %d eps=%v iter %d: archive does not ε-dominate the stream", seed, eps, i)
 			}
 			// (3) size bound: one representative per non-dominated box on a
 			// staircase — at most boxes-per-axis entries.
 			bound := MaxBoxesPerAxis(maxVal, eps)
 			if a.Len() > bound {
-				t.Fatalf("eps=%v: |archive| = %d > bound %d", eps, a.Len(), bound)
+				t.Fatalf("seed %d eps=%v: |archive| = %d > bound %d", seed, eps, a.Len(), bound)
 			}
 		}
 	}

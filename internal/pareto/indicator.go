@@ -4,8 +4,7 @@ import "math"
 
 // MinEps returns ε_m: the smallest ε ≥ 0 for which approx is an ε-Pareto
 // set of ref — every reference point is ε_m-dominated by some approximation
-// point. It returns +Inf when approx is empty (and ref is not) or when some
-// reference point cannot be dominated by any finite ε.
+// point. It returns +Inf when approx is empty and ref is not.
 func MinEps(approx, ref []Point) float64 {
 	if len(ref) == 0 {
 		return 0

@@ -25,14 +25,22 @@ func WeaklyDominates(a, b Point) bool {
 	return a.Div >= b.Div && a.Cov >= b.Cov
 }
 
-// EpsDominates reports a ≻_ε b: (1+ε)·δ(a) ≥ δ(b) and (1+ε)·f(a) ≥ f(b).
+// EpsDominates reports a ≻_ε b on the shifted scale the boxing uses:
+// (1+ε)·(1+δ(a)) ≥ 1+δ(b) and (1+ε)·(1+f(a)) ≥ 1+f(b). Evaluating the
+// ratio on 1+v rather than v matches BoxOf's ⌊log(1+v)/log(1+ε)⌋
+// discretization exactly, so the boxing guarantees hold everywhere,
+// including at zero-valued objectives: two points in one box ε-dominate
+// each other, and a point whose box weakly dominates another point's box
+// ε-dominates that point. (On the raw scale those guarantees fail near
+// zero — e.g. 0.01 and 0.45 share Div-box 0 at ε = 0.5 but (1.5)·0.01 <
+// 0.45 — which would break the archive's ε-Pareto contract.)
 // By Lemma 4, a ≻_ε b implies a ≻_ε' b for every ε' > ε.
 func EpsDominates(a, b Point, eps float64) bool {
-	return (1+eps)*a.Div >= b.Div && (1+eps)*a.Cov >= b.Cov
+	return (1+eps)*(1+a.Div) >= 1+b.Div && (1+eps)*(1+a.Cov) >= 1+b.Cov
 }
 
-// RequiredEps returns the smallest ε ≥ 0 such that a ≻_ε b, or +Inf when no
-// finite ε suffices (b positive on an objective where a is zero).
+// RequiredEps returns the smallest ε ≥ 0 such that a ≻_ε b; on the shifted
+// scale a finite ε always suffices.
 func RequiredEps(a, b Point) float64 {
 	need := 0.0
 	for _, pair := range [2][2]float64{{a.Div, b.Div}, {a.Cov, b.Cov}} {
@@ -40,10 +48,7 @@ func RequiredEps(a, b Point) float64 {
 		if bv <= av {
 			continue
 		}
-		if av <= 0 {
-			return math.Inf(1)
-		}
-		if e := bv/av - 1; e > need {
+		if e := (1+bv)/(1+av) - 1; e > need {
 			need = e
 		}
 	}

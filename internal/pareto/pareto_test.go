@@ -37,13 +37,15 @@ func TestDominates(t *testing.T) {
 }
 
 func TestEpsDominates(t *testing.T) {
+	// On the shifted scale the gap between (1, 1) and (1.2, 1.1) is
+	// (1+1.2)/(1+1) − 1 = 0.1 on the diversity axis.
 	a := Point{Div: 1, Cov: 1}
 	b := Point{Div: 1.2, Cov: 1.1}
-	if EpsDominates(a, b, 0.1) {
-		t.Error("ε=0.1 should not suffice for 20% gap")
+	if EpsDominates(a, b, 0.05) {
+		t.Error("ε=0.05 should not suffice for a 10% shifted gap")
 	}
-	if !EpsDominates(a, b, 0.2) {
-		t.Error("ε=0.2 should suffice")
+	if !EpsDominates(a, b, 0.1) {
+		t.Error("ε=0.1 should suffice")
 	}
 	// Lemma 4: ε-dominance is preserved under larger ε.
 	f := func(ad, ac, bd, bc, e1, e2 float64) bool {
@@ -68,11 +70,14 @@ func TestRequiredEps(t *testing.T) {
 	if got := RequiredEps(Point{2, 2}, Point{1, 1}); got != 0 {
 		t.Errorf("dominating point needs ε = %v", got)
 	}
-	if got := RequiredEps(Point{1, 1}, Point{1.5, 1}); math.Abs(got-0.5) > 1e-12 {
-		t.Errorf("RequiredEps = %v, want 0.5", got)
+	// Shifted scale: (1+1.5)/(1+1) − 1 = 0.25.
+	if got := RequiredEps(Point{1, 1}, Point{1.5, 1}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("RequiredEps = %v, want 0.25", got)
 	}
-	if got := RequiredEps(Point{0, 1}, Point{1, 1}); !math.IsInf(got, 1) {
-		t.Errorf("zero objective should need infinite ε, got %v", got)
+	// A zero objective needs a finite ε on the shifted scale:
+	// (1+1)/(1+0) − 1 = 1.
+	if got := RequiredEps(Point{0, 1}, Point{1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("zero objective RequiredEps = %v, want 1", got)
 	}
 	// Consistency with EpsDominates.
 	f := func(ad, ac, bd, bc float64) bool {
@@ -102,8 +107,8 @@ func TestBoxOf(t *testing.T) {
 	if got := BoxOf(Point{-3, -3}, eps); got != (Box{0, 0}) {
 		t.Errorf("negative box = %v", got)
 	}
-	// Two points in one box ε-dominate each other (the boxing guarantee),
-	// modulo the 1-box tolerance at boundaries.
+	// Two points in one box ε-dominate each other — exact now that
+	// EpsDominates evaluates on the same shifted 1+v scale as the boxing.
 	f := func(x, y float64) bool {
 		a := Point{Div: math.Mod(math.Abs(x), 100), Cov: 1}
 		b := Point{Div: math.Mod(math.Abs(y), 100), Cov: 1}
