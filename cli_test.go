@@ -1,6 +1,7 @@
 package fairsqg
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -127,4 +128,65 @@ func TestExperimentsCLI(t *testing.T) {
 	if err := exec.Command(bin, "-scale", "zzz").Run(); err == nil {
 		t.Error("unknown scale accepted")
 	}
+}
+
+// wantExitError runs the command and asserts it exits non-zero with a
+// diagnostic on stderr.
+func wantExitError(t *testing.T, why string, bin string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Errorf("%s: exited 0, want failure\n%s", why, out)
+		return
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("%s: %v (not an exit error)", why, err)
+	}
+	if exitErr.ExitCode() == 0 {
+		t.Errorf("%s: exit code 0, want non-zero", why)
+	}
+	if len(strings.TrimSpace(string(out))) == 0 {
+		t.Errorf("%s: failed silently, want a message", why)
+	}
+}
+
+// TestCLIErrorExitCodes checks that bad flags and files make every
+// command fail loudly with a non-zero exit code.
+func TestCLIErrorExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	graphgen := buildCLI(t, "graphgen")
+	wantExitError(t, "graphgen negative -nodes", graphgen, "-nodes", "-5")
+	wantExitError(t, "graphgen unknown dataset", graphgen, "-dataset", "zzz")
+	wantExitError(t, "graphgen stray args", graphgen, "stray")
+	wantExitError(t, "graphgen unwritable -out", graphgen, "-nodes", "300", "-out", filepath.Join(t.TempDir(), "no", "such", "dir", "g.tsv"))
+
+	fairsqg := buildCLI(t, "fairsqg")
+	wantExitError(t, "fairsqg bad -max-domain", fairsqg, "-max-domain", "0")
+	wantExitError(t, "fairsqg negative -cover", fairsqg, "-cover", "-1")
+	wantExitError(t, "fairsqg missing graph file", fairsqg, "-graph", filepath.Join(t.TempDir(), "nope.tsv"))
+	wantExitError(t, "fairsqg missing template file", fairsqg, "-dataset", "lki", "-nodes", "500", "-template", filepath.Join(t.TempDir(), "nope.tpl"))
+	wantExitError(t, "fairsqg unknown -canon", fairsqg, "-dataset", "lki", "-nodes", "500", "-canon", "zzz")
+	wantExitError(t, "fairsqg bad online knobs", fairsqg, "-alg", "online", "-k", "0")
+	wantExitError(t, "fairsqg bad -eps", fairsqg, "-dataset", "lki", "-nodes", "500", "-eps", "-0.5")
+
+	experiments := buildCLI(t, "experiments")
+	wantExitError(t, "experiments stray args", experiments, "stray")
+}
+
+// TestFairsqgdCLI checks the daemon's flag and preload error paths; the
+// live-server path is covered by scripts/server_smoke.sh and the
+// internal/server e2e tests.
+func TestFairsqgdCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildCLI(t, "fairsqgd")
+	wantExitError(t, "fairsqgd malformed -graph", bin, "-graph", "noequalsign")
+	wantExitError(t, "fairsqgd missing graph file", bin, "-graph", "g="+filepath.Join(t.TempDir(), "nope.tsv"))
+	wantExitError(t, "fairsqgd stray args", bin, "stray")
+	wantExitError(t, "fairsqgd bad -addr", bin, "-addr", "not-an-address")
 }

@@ -32,6 +32,10 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of the aligned table")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+
 	if *list {
 		fmt.Println(strings.Join(bench.Experiments(), "\n"))
 		return

@@ -59,6 +59,27 @@ func main() {
 	save := flag.String("save", "", "write the generated workload as JSON to this file")
 	flag.Parse()
 
+	// Reject nonsense flag values up front: the generators and binders
+	// would otherwise silently substitute defaults.
+	if *nodes < 0 {
+		log.Fatalf("-nodes must be non-negative, got %d", *nodes)
+	}
+	if *maxDomain < 1 {
+		log.Fatalf("-max-domain must be at least 1, got %d", *maxDomain)
+	}
+	if *cover < 0 {
+		log.Fatalf("-cover must be non-negative, got %d", *cover)
+	}
+	if *totalC < 0 {
+		log.Fatalf("-total must be non-negative, got %d", *totalC)
+	}
+	if *alg == "online" && (*k < 1 || *w < 1 || *streamLen < 1) {
+		log.Fatalf("online mode needs positive -k, -w and -stream (got %d, %d, %d)", *k, *w, *streamLen)
+	}
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+
 	g, err := loadGraph(*graphFile, *dataset, *nodes, *seed)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,142 @@
+// Command fairsqgd serves fairness-aware subgraph query generation over
+// HTTP: upload or preload graphs, submit asynchronous generation jobs,
+// stream their progress as NDJSON, and scrape metrics.
+//
+// Usage:
+//
+//	fairsqgd -addr :8080 -graph lki=lki.tsv -workers 2
+//
+// Endpoints (see README.md for curl examples):
+//
+//	GET  /healthz, /readyz, /metrics, /debug/pprof/, /debug/vars
+//	GET  /v1/graphs            PUT/POST /v1/graphs/{name}
+//	POST /v1/jobs              GET /v1/jobs/{id}[/result|/events]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fairsqg/internal/server"
+)
+
+// graphFlags collects repeatable -graph name=path pairs.
+type graphFlags []struct{ name, path string }
+
+func (g *graphFlags) String() string {
+	parts := make([]string, len(*g))
+	for i, e := range *g {
+		parts[i] = e.name + "=" + e.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *graphFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*g = append(*g, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, errw *os.File) int {
+	fs := flag.NewFlagSet("fairsqgd", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers      = fs.Int("workers", 2, "concurrent job runners")
+		queue        = fs.Int("queue", 16, "queued-job capacity before shedding with 429")
+		retention    = fs.Duration("retention", 15*time.Minute, "how long finished jobs stay visible")
+		timeout      = fs.Duration("timeout", 5*time.Minute, "default per-job deadline")
+		maxTimeout   = fs.Duration("max-timeout", 30*time.Minute, "ceiling on per-job deadlines")
+		matchWorkers = fs.Int("match-workers", 0, "per-graph match engine fan-out (0 = GOMAXPROCS)")
+		candCache    = fs.Int("cand-cache", 0, "per-graph candidate cache entries (0 default, <0 disable)")
+		maxUpload    = fs.Int64("max-upload", 64<<20, "largest accepted graph upload in bytes")
+		drainFor     = fs.Duration("drain", 30*time.Second, "how long shutdown waits for running jobs")
+		graphs       graphFlags
+	)
+	fs.Var(&graphs, "graph", "preload a graph as name=path (.json is JSON, else TSV; repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(errw, "fairsqgd: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	logger := log.New(errw, "fairsqgd ", log.LstdFlags|log.Lmsgprefix)
+	srv := server.New(server.Options{
+		Jobs: server.ManagerOptions{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			Retention:      *retention,
+			DefaultTimeout: *timeout,
+			MaxTimeout:     *maxTimeout,
+		},
+		MatchWorkers:   *matchWorkers,
+		CandCacheSize:  *candCache,
+		MaxUploadBytes: *maxUpload,
+		RequireGraph:   false,
+		Logger:         logger,
+	})
+	srv.PublishExpvar("fairsqgd")
+
+	for _, gf := range graphs {
+		if err := srv.Registry().LoadFile(gf.name, gf.path); err != nil {
+			fmt.Fprintf(errw, "fairsqgd: load graph %s: %v\n", gf.name, err)
+			return 1
+		}
+		info, _ := srv.Registry().Info(gf.name)
+		logger.Printf("loaded graph %s: %d nodes, %d edges", gf.name, info.Nodes, info.Edges)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(errw, "fairsqgd: listen: %v\n", err)
+		return 1
+	}
+	logger.Printf("listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(errw, "fairsqgd: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("shutting down: draining jobs (up to %v)", *drainFor)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	// Stop accepting HTTP first, then drain the job manager so running
+	// jobs finish and persist their results before the process exits.
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Printf("job drain cut short: %v", err)
+		return 1
+	}
+	logger.Printf("bye")
+	return 0
+}

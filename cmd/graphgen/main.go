@@ -27,6 +27,15 @@ func main() {
 	stats := flag.Bool("stats", false, "print dataset statistics to stderr")
 	flag.Parse()
 
+	// A negative budget would silently fall back to the dataset default;
+	// reject it instead.
+	if *nodes < 0 {
+		log.Fatalf("-nodes must be non-negative, got %d", *nodes)
+	}
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+
 	g, err := fairsqg.BuildDataset(*dataset, fairsqg.DatasetOptions{Nodes: *nodes, Seed: *seed})
 	if err != nil {
 		log.Fatal(err)

@@ -126,6 +126,9 @@ func (r *Runner) BiQGen() (*Result, error) {
 	var rootV *Verified
 
 	for len(fwd) > 0 || len(bwd) > 0 {
+		if r.err() != nil {
+			break
+		}
 		// Forward step.
 		if len(fwd) > 0 {
 			item := fwd[0]
@@ -201,6 +204,9 @@ func (r *Runner) BiQGen() (*Result, error) {
 				}
 			}
 		}
+	}
+	if err := r.err(); err != nil {
+		return nil, err
 	}
 
 	return &Result{

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fairsqg/internal/match"
+)
+
+// TestCancelledContextAborts verifies every algorithm honors a cancelled
+// run context: it returns the context's error instead of a partial set.
+func TestCancelledContextAborts(t *testing.T) {
+	g := fixtureGraph(t, 7)
+	cfg := fixtureConfig(t, g, 0.2, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg.Ctx = ctx
+
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := map[string]func() (*Result, error){
+		"enum":  r.EnumQGen,
+		"rf":    r.RfQGen,
+		"bi":    r.BiQGen,
+		"kungs": r.Kungs,
+		"par":   func() (*Result, error) { return r.ParQGen(2) },
+		"cbm":   func() (*Result, error) { return r.CBM(CBMOptions{}) },
+	}
+	for name, run := range algs {
+		res, err := run()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: want context.Canceled, got result=%v err=%v", name, res, err)
+		}
+	}
+	if _, err := r.AllFeasible(); !errors.Is(err, context.Canceled) {
+		t.Errorf("AllFeasible: want context.Canceled, got %v", err)
+	}
+}
+
+// TestDeadlineStopsMidRun cancels after the first verification and checks
+// the run stops early rather than exploring the whole lattice — through
+// both the sequential matcher and the concurrent engine path.
+func TestDeadlineStopsMidRun(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		g := fixtureGraph(t, 8)
+		cfg := fixtureConfig(t, g, 0.05, 2)
+		cfg.MatchWorkers = workers
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cfg.Ctx = ctx
+		seen := 0
+		cfg.OnVerified = func(ev VerifyEvent) {
+			seen++
+			if seen == 1 {
+				cancel()
+			}
+		}
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.RfQGen(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+		if seen > 2 {
+			t.Errorf("workers=%d: run kept verifying after cancel: %d verifications", workers, seen)
+		}
+	}
+}
+
+// TestExternalEngineSharedAcrossRuns checks that an injected Config.Engine
+// survives resetStats, keeps its candidate cache warm across runs, and
+// yields results identical to the reference path.
+func TestExternalEngineSharedAcrossRuns(t *testing.T) {
+	g := fixtureGraph(t, 9)
+	ref := fixtureConfig(t, g, 0.2, 3)
+	rr, err := NewRunner(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rr.BiQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engine := match.NewEngine(g, match.EngineOptions{Workers: 2})
+	cfg := fixtureConfig(t, g, 0.2, 3)
+	cfg.Engine = engine
+	r1, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := r1.BiQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsAfter1 := engine.Stats().Cache.Hits
+
+	cfg2 := fixtureConfig(t, g, 0.2, 3)
+	cfg2.Engine = engine
+	r2, err := NewRunner(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := r2.BiQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine.Stats().Cache.Hits <= hitsAfter1 {
+		t.Errorf("second run added no candidate-cache hits: %d then %d", hitsAfter1, engine.Stats().Cache.Hits)
+	}
+	for i, got := range [][]*Verified{got1.Set, got2.Set} {
+		if len(got) != len(want.Set) {
+			t.Fatalf("run %d: set size %d != reference %d", i+1, len(got), len(want.Set))
+		}
+		for j := range got {
+			if got[j].Q.Key() != want.Set[j].Q.Key() || got[j].Point != want.Set[j].Point {
+				t.Errorf("run %d: entry %d differs from reference", i+1, j)
+			}
+		}
+	}
+
+	// An engine over a different graph is rejected up front.
+	other := fixtureGraph(t, 10)
+	bad := fixtureConfig(t, other, 0.2, 3)
+	bad.Engine = engine
+	if _, err := NewRunner(bad); err == nil {
+		t.Error("engine bound to a different graph accepted")
+	}
+}

@@ -121,6 +121,9 @@ func (r *Runner) CBM(opts CBMOptions) (*Result, error) {
 func (r *Runner) allFeasibleKeepStats() ([]*Verified, error) {
 	var feasible []*Verified
 	EnumerateInstantiations(r.cfg.Template, func(in query.Instantiation) bool {
+		if r.err() != nil {
+			return false
+		}
 		q := query.MustInstance(r.cfg.Template, in)
 		if r.verifiedKey(q.Key()) {
 			return true
@@ -132,5 +135,8 @@ func (r *Runner) allFeasibleKeepStats() ([]*Verified, error) {
 		}
 		return true
 	})
+	if err := r.err(); err != nil {
+		return nil, err
+	}
 	return feasible, nil
 }

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,6 +26,19 @@ type Config struct {
 	Groups   groups.Set
 	// Eps is the ε-dominance tolerance (> 0).
 	Eps float64
+
+	// Ctx, when non-nil, bounds the run: every algorithm polls it between
+	// verifications and hands it to the matcher so deadline expiry or
+	// cancellation also aborts an in-flight instance evaluation. A cancelled
+	// run returns the context's error instead of a partial result.
+	Ctx context.Context
+	// Engine, when non-nil, routes verification through this externally
+	// owned match engine instead of a per-run one (MatchWorkers is then
+	// ignored). The engine — and crucially its candidate cache — persists
+	// across runs, which is how a long-lived service shares one warm cache
+	// per graph across jobs. The engine's graph must be G, and the per-run
+	// Stats report the engine's cumulative (not per-run) counters.
+	Engine *match.Engine
 
 	// Mode selects matching semantics (default Isomorphism).
 	Mode match.Mode
@@ -122,6 +136,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Eps <= 0 {
 		return fmt.Errorf("core: eps must be positive, got %g", c.Eps)
+	}
+	if c.Engine != nil && c.Engine.Graph() != c.G {
+		return fmt.Errorf("core: config engine is bound to a different graph")
 	}
 	if c.Lambda < 0 || c.Lambda > 1 {
 		return fmt.Errorf("core: lambda must be in [0,1], got %g", c.Lambda)

@@ -54,6 +54,9 @@ func (r *Runner) EnumQGen() (*Result, error) {
 	start := time.Now()
 	archive := pareto.NewArchive[*Verified](r.cfg.Eps)
 	EnumerateInstantiations(r.cfg.Template, func(in query.Instantiation) bool {
+		if r.err() != nil {
+			return false
+		}
 		r.stats.Spawned++
 		q := query.MustInstance(r.cfg.Template, in)
 		if r.verifiedKey(q.Key()) {
@@ -68,6 +71,9 @@ func (r *Runner) EnumQGen() (*Result, error) {
 		}
 		return true
 	})
+	if err := r.err(); err != nil {
+		return nil, err
+	}
 	return &Result{
 		Set:     collectSet(archive),
 		Eps:     r.cfg.Eps,
@@ -84,6 +90,9 @@ func (r *Runner) Kungs() (*Result, error) {
 	start := time.Now()
 	var feasible []*Verified
 	EnumerateInstantiations(r.cfg.Template, func(in query.Instantiation) bool {
+		if r.err() != nil {
+			return false
+		}
 		r.stats.Spawned++
 		q := query.MustInstance(r.cfg.Template, in)
 		if r.verifiedKey(q.Key()) {
@@ -96,6 +105,9 @@ func (r *Runner) Kungs() (*Result, error) {
 		}
 		return true
 	})
+	if err := r.err(); err != nil {
+		return nil, err
+	}
 	points := make([]pareto.Point, len(feasible))
 	for i, v := range feasible {
 		points[i] = v.Point
@@ -120,6 +132,9 @@ func (r *Runner) AllFeasible() ([]*Verified, error) {
 	r.resetStats()
 	var feasible []*Verified
 	EnumerateInstantiations(r.cfg.Template, func(in query.Instantiation) bool {
+		if r.err() != nil {
+			return false
+		}
 		q := query.MustInstance(r.cfg.Template, in)
 		if r.verifiedKey(q.Key()) {
 			return true
@@ -130,5 +145,8 @@ func (r *Runner) AllFeasible() ([]*Verified, error) {
 		}
 		return true
 	})
+	if err := r.err(); err != nil {
+		return nil, err
+	}
 	return feasible, nil
 }

@@ -17,7 +17,11 @@ import (
 // one configuration reuse the cache only when the caller wants it (each
 // algorithm entry point starts a fresh Runner unless invoked on one).
 type Runner struct {
-	cfg     *Config
+	cfg *Config
+	// ctx is the run's cancellation context (cfg.Ctx, or Background when
+	// unset). Algorithms poll it between verifications; the matcher and
+	// engine poll it inside the backtracking search.
+	ctx     context.Context
 	matcher *match.Matcher
 	// engine, when non-nil (Config.MatchWorkers > 1 or < 0), evaluates
 	// instances concurrently; the sequential matcher stays the reference
@@ -37,9 +41,16 @@ func NewRunner(cfg *Config) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m := match.New(cfg.G)
 	m.Mode = cfg.Mode
 	m.MaxBacktrackNodes = cfg.MaxBacktrackNodes
+	if cfg.Ctx != nil {
+		m.BindContext(ctx)
+	}
 	engine := newConfigEngine(cfg)
 	if engine != nil {
 		m.Cache = engine.Cache()
@@ -83,6 +94,7 @@ func NewRunner(cfg *Config) (*Runner, error) {
 	}
 	return &Runner{
 		cfg:        cfg,
+		ctx:        ctx,
 		matcher:    m,
 		engine:     engine,
 		div:        div,
@@ -92,8 +104,13 @@ func NewRunner(cfg *Config) (*Runner, error) {
 }
 
 // newConfigEngine builds the concurrent match engine a configuration asks
-// for, or nil when the sequential reference path is selected.
+// for, or nil when the sequential reference path is selected. An external
+// Config.Engine always wins: it outlives the run so its candidate cache
+// stays warm across runs.
 func newConfigEngine(cfg *Config) *match.Engine {
+	if cfg.Engine != nil {
+		return cfg.Engine
+	}
 	if cfg.MatchWorkers == 0 || cfg.MatchWorkers == 1 {
 		return nil
 	}
@@ -142,19 +159,30 @@ func (r *Runner) Stats() Stats {
 
 // resetStats clears counters between algorithm invocations on one Runner.
 // The engine is rebuilt (its counters are cumulative) and the candidate
-// cache dropped, so every run reports its own, cold-start numbers.
+// cache dropped, so every run reports its own, cold-start numbers. An
+// external Config.Engine is kept as-is: cross-run cache warmth is exactly
+// what injecting an engine is for.
 func (r *Runner) resetStats() {
 	r.stats = Stats{}
 	r.matcher.Stats = match.Stats{}
 	r.verSeq = 0
 	r.cache = make(map[string]*Verified)
+	if r.cfg.Ctx != nil {
+		r.matcher.BindContext(r.ctx)
+	}
 	if r.engine != nil {
-		r.engine = newConfigEngine(r.cfg)
+		if r.cfg.Engine == nil {
+			r.engine = newConfigEngine(r.cfg)
+		}
 		r.matcher.Cache = r.engine.Cache()
 	} else if r.matcher.Cache != nil {
 		r.matcher.Cache.Reset()
 	}
 }
+
+// err reports the run context's cancellation state; algorithms poll it
+// between verifications and abort with this error.
+func (r *Runner) err() error { return r.ctx.Err() }
 
 // verify evaluates an instance: q(G), δ(q), f(q) and feasibility. When the
 // instance was already verified the cached record returns without work.
@@ -187,14 +215,18 @@ func (r *Runner) verify(q *query.Instance, parent *Verified) *Verified {
 		var matches []graph.NodeID
 		var ok bool
 		if r.engine != nil {
-			// context.Background never cancels, so the error is always nil;
-			// callers needing deadline aborts drive the engine directly.
-			matches, ok, _ = r.engine.ParEvalOutputFiltered(context.Background(), q, within, accept)
+			matches, ok, _ = r.engine.ParEvalOutputFiltered(r.ctx, q, within, accept)
 		} else {
 			matches, ok = r.matcher.EvalOutputFiltered(q, within, accept)
 		}
 		v = &Verified{Q: q, Matches: matches}
 		v.Feasible = ok && measure.Feasible(r.cfg.Groups, matches)
+	}
+	if r.ctx.Err() != nil {
+		// The evaluation was cut short: its result is partial. Don't cache
+		// or count it — the caller's next cancellation poll ends the run,
+		// so the placeholder never influences a returned set.
+		return &Verified{Q: q}
 	}
 	if v.Feasible {
 		v.Point = pareto.Point{
@@ -263,7 +295,7 @@ func (r *Runner) verifyMultiOutput(q *query.Instance, parent *Verified) *Verifie
 		}
 		var matches []graph.NodeID
 		if r.engine != nil {
-			matches, _, _ = r.engine.ParEvalNodeFiltered(context.Background(), q, ni, within, nil)
+			matches, _, _ = r.engine.ParEvalNodeFiltered(r.ctx, q, ni, within, nil)
 		} else {
 			matches, _ = r.matcher.EvalNodeFiltered(q, ni, within, nil)
 		}

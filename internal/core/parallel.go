@@ -107,6 +107,9 @@ func (r *Runner) ParQGen(workers int) (*Result, error) {
 	if callErr != nil {
 		return nil, fmt.Errorf("core: ParQGen worker: %w", callErr)
 	}
+	if err := r.err(); err != nil {
+		return nil, err
+	}
 	if r.engine != nil {
 		es := r.engine.Stats()
 		total.Matcher.Evals += int(es.Evals)
@@ -151,6 +154,9 @@ func exploreSlab(r *Runner, sp *spawner, splitVar, level int,
 	visited := make(map[string]bool)
 	var explore func(in query.Instantiation, parent *Verified)
 	explore = func(in query.Instantiation, parent *Verified) {
+		if r.err() != nil {
+			return
+		}
 		q := query.MustInstance(t, in)
 		if visited[q.Key()] {
 			return

@@ -23,6 +23,9 @@ func (r *Runner) RfQGen() (*Result, error) {
 
 	var explore func(in query.Instantiation, parent *Verified)
 	explore = func(in query.Instantiation, parent *Verified) {
+		if r.err() != nil {
+			return
+		}
 		q := query.MustInstance(r.cfg.Template, in)
 		if visited[q.Key()] {
 			return
@@ -42,6 +45,9 @@ func (r *Runner) RfQGen() (*Result, error) {
 		}
 	}
 	explore(query.Root(r.cfg.Template), nil)
+	if err := r.err(); err != nil {
+		return nil, err
+	}
 
 	return &Result{
 		Set:     collectSet(archive),

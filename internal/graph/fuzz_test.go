@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// fuzzSeedGraph builds a small graph exercising every value type and both
+// record kinds, so the serialized seeds cover the full grammar.
+func fuzzSeedGraph() *Graph {
+	g := New()
+	a := g.AddNode("Person", map[string]Value{
+		"gender":     Str("female"),
+		"name":       Str("tab\tand=equals"),
+		"yearsOfExp": Int(7),
+		"score":      Num(0.25),
+	})
+	b := g.AddNode("Person", map[string]Value{"gender": Str("male")})
+	o := g.AddNode("Org", map[string]Value{"employees": Int(120)})
+	_ = g.AddEdge(a, b, "recommend")
+	_ = g.AddEdge(a, o, "worksAt")
+	_ = g.AddEdge(b, o, "worksAt")
+	g.Freeze()
+	return g
+}
+
+// FuzzReadTSV asserts the TSV reader never panics and that anything it
+// accepts survives a write/read round trip unchanged in shape.
+func FuzzReadTSV(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, fuzzSeedGraph()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("N\t0\tPerson\tgender=female\nN\t1\tOrg\nE\t0\t1\tworksAt\n"))
+	f.Add([]byte("# comment\n\nN\t0\tA\n"))
+	f.Add([]byte("N\t1\tA\n"))        // out-of-order id
+	f.Add([]byte("E\t0\t1\tx\n"))    // edge before nodes
+	f.Add([]byte("X\tjunk\n"))       // unknown record
+	f.Add([]byte("N\t0\tA\tbroken")) // attribute without '='
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadTSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		roundTrip(t, g, WriteTSV, ReadTSV)
+	})
+}
+
+// FuzzReadJSON is the same property for the JSON format.
+func FuzzReadJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fuzzSeedGraph()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"nodes":[],"edges":[]}`))
+	f.Add([]byte(`{"nodes":[{"label":"A"}],"edges":[{"from":0,"to":0,"label":"x"}]}`))
+	f.Add([]byte(`{"nodes":[{"label":"A"}],"edges":[{"from":5,"to":0,"label":"x"}]}`)) // bad endpoint
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		roundTrip(t, g, WriteJSON, ReadJSON)
+	})
+}
+
+// roundTrip writes an accepted graph back out and reads it again; the
+// copy must parse and match node/edge counts and per-node labels.
+func roundTrip(t *testing.T, g *Graph, write func(io.Writer, *Graph) error, read func(io.Reader) (*Graph, error)) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf, g); err != nil {
+		t.Fatalf("rewriting accepted graph: %v", err)
+	}
+	g2, err := read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("rereading rewritten graph: %v\n%s", err, buf.Bytes())
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+			g.NumNodes(), g.NumEdges(), g2.NumNodes(), g2.NumEdges())
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Label(NodeID(i)) != g2.Label(NodeID(i)) {
+			t.Fatalf("node %d label %q -> %q", i, g.Label(NodeID(i)), g2.Label(NodeID(i)))
+		}
+	}
+}

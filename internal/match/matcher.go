@@ -384,6 +384,14 @@ func (m *Matcher) bindContext(ctx context.Context) {
 	m.aborted = false
 }
 
+// BindContext attaches a cancellation context to subsequent sequential
+// evaluations: the backtracking search polls it (throttled by
+// cancelCheckMask) and unwinds when it fires, leaving Aborted set. A nil
+// ctx disables polling. Core binds the run context here so server-side
+// deadlines abort an in-flight evaluation instead of waiting for the next
+// instance boundary.
+func (m *Matcher) BindContext(ctx context.Context) { m.bindContext(ctx) }
+
 // Aborted reports whether the last evaluation was cut short by context
 // cancellation; an aborted evaluation's result is partial and must be
 // discarded.

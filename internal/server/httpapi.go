@@ -1,0 +1,345 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"mime"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// routes assembles the full handler tree on a Go 1.22 pattern mux.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
+	mux.HandleFunc("PUT /v1/graphs/{name}", s.handleUploadGraph)
+	mux.HandleFunc("POST /v1/graphs/{name}", s.handleUploadGraph)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
+
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+
+	// pprof needs explicit wiring on a non-default mux.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+
+	return s.withRequestLog(mux)
+}
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (the events endpoint needs it).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+var reqCounter atomic.Uint64
+
+// withRequestLog wraps the tree with request IDs, logging, counters and
+// panic recovery.
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("r%08x", reqCounter.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.logf("req=%s PANIC %s %s: %v", id, r.Method, r.URL.Path, p)
+				if rec.code == http.StatusOK {
+					writeError(rec, http.StatusInternalServerError, "internal error (request %s)", id)
+				}
+				return
+			}
+			s.met.httpRequests.Add(1)
+			s.met.httpByCode.Add(fmt.Sprintf("%d", rec.code), 1)
+			s.logf("req=%s %s %s -> %d (%s)", id, r.Method, r.URL.Path, rec.code, time.Since(start).Round(time.Microsecond))
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports ready once at least one graph is registered and
+// the server is not draining — the signal a load balancer should gate on.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.opts.RequireGraph && len(s.reg.List()) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no graphs registered")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// handleVars mirrors the default expvar endpoint on this mux.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvarDo(func(name, value string) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", name, value)
+	})
+	fmt.Fprintf(w, "\n}\n")
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.List()})
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.reg.Info(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "graph %q not registered", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleUploadGraph ingests a TSV or JSON graph body. The format comes
+// from ?format=, else the Content-Type, defaulting to TSV. Bodies beyond
+// MaxUploadBytes are refused with 413.
+func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		if ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil {
+			switch ct {
+			case "application/json":
+				format = "json"
+			case "text/tab-separated-values":
+				format = "tsv"
+			}
+		}
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	err := s.reg.Read(name, format, body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			writeError(w, http.StatusRequestEntityTooLarge, "graph body exceeds %d bytes", s.opts.MaxUploadBytes)
+		case strings.Contains(err.Error(), "already registered"):
+			writeError(w, http.StatusConflict, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	info, _ := s.reg.Info(name)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Remove(r.PathValue("name")); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
+}
+
+// handleSubmitJob validates and enqueues a generation job, answering 202
+// with its ID, or 429 + Retry-After under load.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	job, err := s.jobs.Submit(&spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, ErrUnknownGraph):
+			writeError(w, http.StatusNotFound, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	st, _ := s.jobs.Status(job.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.jobs.Status(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.jobs.Cancel(id); err != nil {
+		if _, ok := s.jobs.Get(id); !ok {
+			writeError(w, http.StatusNotFound, "%v", err)
+		} else {
+			writeError(w, http.StatusConflict, "%v", err)
+		}
+		return
+	}
+	st, _ := s.jobs.Status(id)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobResult serves a finished job's result; an unfinished job gets
+// 409 so pollers can tell "not yet" from "gone".
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, state, ok := s.jobs.Result(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if !state.terminal() {
+		writeError(w, http.StatusConflict, "job %q is %s; result not ready", id, state)
+		return
+	}
+	if res == nil {
+		st, _ := s.jobs.Status(id)
+		writeJSON(w, http.StatusOK, map[string]any{"state": state, "error": st.Error})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleJobEvents streams a job's progress as NDJSON: the buffered
+// history first, then live events until the job reaches a terminal state
+// or the client goes away.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	replay, live, cancel, ok := s.jobs.Subscribe(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev JobEvent) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	lastSeq := 0
+	for _, ev := range replay {
+		if !emit(ev) {
+			return
+		}
+		lastSeq = ev.Seq
+	}
+	if live == nil {
+		return // stream already ended; replay was the whole story
+	}
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				return
+			}
+			if ev.Seq <= lastSeq {
+				continue // duplicate of the replayed prefix
+			}
+			if !emit(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// logger is the minimal interface the server logs through; *log.Logger
+// satisfies it.
+type printfLogger interface {
+	Printf(format string, args ...any)
+}
+
+var _ printfLogger = (*log.Logger)(nil)

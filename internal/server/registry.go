@@ -1,0 +1,210 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fairsqg/internal/graph"
+	"fairsqg/internal/match"
+)
+
+// graphNameRe restricts registry names so they embed cleanly in URLs,
+// logs and metrics keys.
+var graphNameRe = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// graphEntry is one registered graph with its per-graph shared evaluation
+// state: a single concurrent match engine (and thus one candidate cache)
+// serves every job that targets the graph, so refinement siblings across
+// jobs reuse each other's filter scans.
+type graphEntry struct {
+	name     string
+	g        *graph.Graph
+	engine   *match.Engine
+	loadedAt time.Time
+	refs     int
+	removed  bool
+}
+
+// GraphInfo is the externally visible summary of a registered graph.
+type GraphInfo struct {
+	Name     string    `json:"name"`
+	Nodes    int       `json:"nodes"`
+	Edges    int       `json:"edges"`
+	Refs     int       `json:"refs"`
+	LoadedAt time.Time `json:"loadedAt"`
+	// Engine reports the shared engine's cumulative counters, including
+	// the candidate cache — the numbers /metrics scrapes per graph.
+	Engine match.EngineStats `json:"engine"`
+}
+
+// Registry holds named, frozen graphs and hands out ref-counted handles.
+// Loading happens once per graph; every request afterwards shares the
+// frozen structure and the per-graph match engine.
+type Registry struct {
+	mu      sync.Mutex
+	graphs  map[string]*graphEntry
+	workers int
+	cache   int
+}
+
+// NewRegistry returns an empty registry. workers is the per-graph engine
+// fan-out (<= 0 selects GOMAXPROCS); cacheSize bounds each graph's
+// candidate cache (0 default, < 0 disabled).
+func NewRegistry(workers, cacheSize int) *Registry {
+	return &Registry{graphs: make(map[string]*graphEntry), workers: workers, cache: cacheSize}
+}
+
+// Put registers a frozen graph under name, rejecting duplicates.
+func (r *Registry) Put(name string, g *graph.Graph) error {
+	if !graphNameRe.MatchString(name) {
+		return fmt.Errorf("server: invalid graph name %q (want [A-Za-z0-9._-]{1,64})", name)
+	}
+	if g == nil || !g.Frozen() {
+		return fmt.Errorf("server: graph %q must be frozen", name)
+	}
+	entry := &graphEntry{
+		name: name,
+		g:    g,
+		engine: match.NewEngine(g, match.EngineOptions{
+			Workers:       r.workers,
+			CandCacheSize: r.cache,
+		}),
+		loadedAt: time.Now(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.graphs[name]; dup {
+		return fmt.Errorf("server: graph %q already registered", name)
+	}
+	r.graphs[name] = entry
+	return nil
+}
+
+// Read parses a graph from rd in the named format ("tsv" or "json"),
+// freezes it and registers it under name.
+func (r *Registry) Read(name, format string, rd io.Reader) error {
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch format {
+	case "json":
+		g, err = graph.ReadJSON(rd)
+	case "tsv", "":
+		g, err = graph.ReadTSV(rd)
+	default:
+		return fmt.Errorf("server: unknown graph format %q (want tsv or json)", format)
+	}
+	if err != nil {
+		return err
+	}
+	return r.Put(name, g)
+}
+
+// LoadFile reads a graph file (format by extension: .json is JSON,
+// anything else TSV) and registers it; used by the daemon's -graph flag.
+func (r *Registry) LoadFile(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	format := "tsv"
+	if strings.HasSuffix(strings.ToLower(path), ".json") {
+		format = "json"
+	}
+	return r.Read(name, format, f)
+}
+
+// Handle is a ref-counted lease on a registered graph. The graph and
+// engine stay valid until Release, even if the graph is removed from the
+// registry in the meantime.
+type Handle struct {
+	r     *Registry
+	entry *graphEntry
+	once  sync.Once
+}
+
+// Graph returns the leased frozen graph.
+func (h *Handle) Graph() *graph.Graph { return h.entry.g }
+
+// Engine returns the graph's shared match engine.
+func (h *Handle) Engine() *match.Engine { return h.entry.engine }
+
+// Name returns the graph's registry name.
+func (h *Handle) Name() string { return h.entry.name }
+
+// Release drops the lease; it is idempotent.
+func (h *Handle) Release() {
+	h.once.Do(func() {
+		h.r.mu.Lock()
+		h.entry.refs--
+		h.r.mu.Unlock()
+	})
+}
+
+// Acquire leases a registered graph by name.
+func (r *Registry) Acquire(name string) (*Handle, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entry, ok := r.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("server: graph %q not registered", name)
+	}
+	entry.refs++
+	return &Handle{r: r, entry: entry}, nil
+}
+
+// Remove unregisters a graph. Existing handles remain valid; the entry's
+// memory is reclaimed once the last one releases.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entry, ok := r.graphs[name]
+	if !ok {
+		return fmt.Errorf("server: graph %q not registered", name)
+	}
+	entry.removed = true
+	delete(r.graphs, name)
+	return nil
+}
+
+// Info returns one graph's summary.
+func (r *Registry) Info(name string) (GraphInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entry, ok := r.graphs[name]
+	if !ok {
+		return GraphInfo{}, false
+	}
+	return infoOf(entry), true
+}
+
+// List returns every registered graph's summary, sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	infos := make([]GraphInfo, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		infos = append(infos, infoOf(e))
+	}
+	r.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+func infoOf(e *graphEntry) GraphInfo {
+	return GraphInfo{
+		Name:     e.name,
+		Nodes:    e.g.NumNodes(),
+		Edges:    e.g.NumEdges(),
+		Refs:     e.refs,
+		LoadedAt: e.loadedAt,
+		Engine:   e.engine.Stats(),
+	}
+}

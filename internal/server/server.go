@@ -1,0 +1,128 @@
+// Package server implements fairsqgd, the HTTP query-generation service:
+// a registry of frozen graphs each sharing one match engine and candidate
+// cache, an asynchronous job manager running the generation algorithms
+// under per-job deadlines, and an observability surface (health, metrics,
+// pprof, NDJSON progress streams).
+package server
+
+import (
+	"context"
+	"expvar"
+	"net/http"
+	"sync/atomic"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers / QueueDepth / Retention / DefaultTimeout / MaxTimeout /
+	// GCInterval tune the job manager (see ManagerOptions).
+	Jobs ManagerOptions
+	// MatchWorkers is each graph engine's fan-out (<= 0 = GOMAXPROCS);
+	// CandCacheSize bounds each graph's candidate cache (0 default,
+	// < 0 disabled).
+	MatchWorkers  int
+	CandCacheSize int
+	// MaxUploadBytes bounds graph upload bodies (default 64 MiB).
+	MaxUploadBytes int64
+	// RequireGraph makes /readyz fail until a graph is registered.
+	RequireGraph bool
+	// Logger receives request and lifecycle logs; nil silences them.
+	Logger printfLogger
+}
+
+// Server is the assembled service: registry + job manager + HTTP surface.
+type Server struct {
+	opts     Options
+	reg      *Registry
+	jobs     *Manager
+	met      *metrics
+	logger   printfLogger
+	handler  http.Handler
+	draining atomic.Bool
+}
+
+// New builds a Server. It starts the job manager's worker pool; callers
+// must Shutdown to release it.
+func New(opts Options) *Server {
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = 64 << 20
+	}
+	s := &Server{
+		opts: opts,
+		reg:  NewRegistry(opts.MatchWorkers, opts.CandCacheSize),
+		met:  newMetrics(),
+	}
+	s.jobs = NewManager(s.reg, s.met, opts.Jobs)
+	s.logger = opts.Logger
+	s.handler = s.routes()
+	return s
+}
+
+// Registry exposes the graph registry, e.g. for preloading from files.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Jobs exposes the job manager.
+func (s *Server) Jobs() *Manager { return s.jobs }
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Shutdown stops intake and drains the job manager; see Manager.Shutdown
+// for the deadline semantics.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.jobs.Shutdown(ctx)
+}
+
+// MetricsSnapshot renders the /metrics document: job counters and
+// states, queue depth, per-graph engine/cache counters, and
+// per-algorithm latency histograms.
+func (s *Server) MetricsSnapshot() map[string]any {
+	byState, queueDepth := s.jobs.counts()
+	states := make(map[string]int, len(byState))
+	for st, n := range byState {
+		states[string(st)] = n
+	}
+	graphs := map[string]any{}
+	var cacheHits, cacheMisses int64
+	for _, info := range s.reg.List() {
+		graphs[info.Name] = info
+		cacheHits += info.Engine.Cache.Hits
+		cacheMisses += info.Engine.Cache.Misses
+	}
+	return map[string]any{
+		"jobs": map[string]any{
+			"submitted": s.met.jobsSubmitted.Value(),
+			"shed":      s.met.jobsShed.Value(),
+			"done":      s.met.jobsDone.Value(),
+			"failed":    s.met.jobsFailed.Value(),
+			"cancelled": s.met.jobsCancelled.Value(),
+			"states":    states,
+			"queueDepth": queueDepth,
+		},
+		"cache": map[string]any{
+			"hits":   cacheHits,
+			"misses": cacheMisses,
+		},
+		"http": map[string]any{
+			"requests": s.met.httpRequests.Value(),
+			"byCode":   s.met.httpByCode.String(),
+		},
+		"latencyMs": s.met.latencySnapshot(),
+		"graphs":    graphs,
+	}
+}
+
+// PublishExpvar registers the server's metrics snapshot in the
+// process-global expvar namespace under name. Call at most once per
+// process per name (expvar panics on duplicates) — the daemon does, tests
+// don't.
+func (s *Server) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return s.MetricsSnapshot() }))
+}
+
+// expvarDo walks the global expvar namespace; split out so httpapi stays
+// free of the expvar import.
+func expvarDo(f func(name, value string)) {
+	expvar.Do(func(kv expvar.KeyValue) { f(kv.Key, kv.Value.String()) })
+}

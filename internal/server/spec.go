@@ -1,0 +1,225 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"fairsqg/internal/core"
+	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
+	"fairsqg/internal/query"
+)
+
+// JobSpec is the JSON body of a job submission: which graph, which
+// template (in the DSL), which groups, which algorithm, and the knobs.
+type JobSpec struct {
+	// Graph names a registered graph.
+	Graph string `json:"graph"`
+	// Algorithm is one of enum, rf, bi, par, kungs or cbm.
+	Algorithm string `json:"algorithm"`
+	// Template is the query template in the textual DSL. Range variables
+	// without explicit `ladder` lines get their value ladders bound
+	// against the graph, capped at MaxDomain values.
+	Template string `json:"template"`
+	// Groups declares the fairness groups and coverage constraints.
+	Groups GroupsSpec `json:"groups"`
+	// Eps is the ε-dominance tolerance (default 0.05).
+	Eps float64 `json:"eps,omitempty"`
+	// Lambda balances relevance against dissimilarity (default 0.5).
+	Lambda float64 `json:"lambda,omitempty"`
+	// MaxDomain caps each bound value ladder (default 8).
+	MaxDomain int `json:"maxDomain,omitempty"`
+	// MaxPairs caps pairwise diversity evaluations (default 20000).
+	MaxPairs int `json:"maxPairs,omitempty"`
+	// DistanceAttrs restricts the tuple distance to these attributes.
+	DistanceAttrs []string `json:"distanceAttrs,omitempty"`
+	// Workers is the lattice fan-out for the par algorithm (<= 0 selects
+	// GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMs bounds the run; 0 selects the server default, and the
+	// server maximum always applies.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// ProgressEvery samples every Nth verification into the progress
+	// stream (default 32; < 0 disables progress events).
+	ProgressEvery int `json:"progressEvery,omitempty"`
+}
+
+// GroupsSpec selects the node groups P and their constraints c_i.
+type GroupsSpec struct {
+	// Label and Attr induce the groups: nodes with Label partitioned by
+	// the values of Attr.
+	Label string `json:"label"`
+	Attr  string `json:"attr"`
+	// Values restricts the partition to these attribute values (empty =
+	// every value).
+	Values []string `json:"values,omitempty"`
+	// Cover is the per-group equal-opportunity constraint; Total, when
+	// positive, overrides it by splitting a total budget evenly.
+	Cover int `json:"cover,omitempty"`
+	Total int `json:"total,omitempty"`
+}
+
+// validAlgorithms names the runnable generation strategies.
+var validAlgorithms = map[string]bool{
+	"enum": true, "rf": true, "bi": true, "par": true, "kungs": true, "cbm": true,
+}
+
+// ResultQuery is one suggested query in a job result, mirroring the
+// workload format so results feed the same downstream drivers.
+type ResultQuery struct {
+	Bindings  []int   `json:"bindings"`
+	Text      string  `json:"text"`
+	Diversity float64 `json:"diversity"`
+	Coverage  float64 `json:"coverage"`
+	Answers   int     `json:"answers"`
+}
+
+// JobResult is the rendered outcome of a finished job.
+type JobResult struct {
+	Algorithm string        `json:"algorithm"`
+	Eps       float64       `json:"eps"`
+	ElapsedMs float64       `json:"elapsedMs"`
+	Stats     core.Stats    `json:"stats"`
+	Queries   []ResultQuery `json:"queries"`
+}
+
+// buildConfig validates a spec against its leased graph and produces the
+// run configuration. Errors here are the caller's fault and surface as
+// HTTP 400s at submit time, before the job is queued.
+func buildConfig(spec *JobSpec, h *Handle) (*core.Config, error) {
+	if !validAlgorithms[spec.Algorithm] {
+		return nil, fmt.Errorf("server: unknown algorithm %q (want enum, rf, bi, par, kungs or cbm)", spec.Algorithm)
+	}
+	if spec.Template == "" {
+		return nil, fmt.Errorf("server: job needs a template")
+	}
+	tpl, err := query.ParseString(spec.Template)
+	if err != nil {
+		return nil, err
+	}
+	if err := bindMissingLadders(tpl, h.Graph(), spec.MaxDomain); err != nil {
+		return nil, err
+	}
+	gs := spec.Groups
+	if gs.Label == "" || gs.Attr == "" {
+		return nil, fmt.Errorf("server: job needs groups.label and groups.attr")
+	}
+	var set groups.Set
+	if len(gs.Values) > 0 {
+		set = groups.ByValues(h.Graph(), gs.Label, gs.Attr, gs.Values...)
+	} else {
+		set = groups.ByAttribute(h.Graph(), gs.Label, gs.Attr)
+	}
+	if len(set) == 0 {
+		return nil, fmt.Errorf("server: no groups for %s.%s", gs.Label, gs.Attr)
+	}
+	if gs.Total > 0 {
+		set = groups.SplitEvenly(set, gs.Total)
+	} else {
+		set = groups.EqualOpportunity(set, gs.Cover)
+	}
+	eps := spec.Eps
+	if eps == 0 {
+		eps = 0.05
+	}
+	maxPairs := spec.MaxPairs
+	if maxPairs == 0 {
+		maxPairs = 20000
+	}
+	cfg := &core.Config{
+		G:             h.Graph(),
+		Template:      tpl,
+		Groups:        set,
+		Eps:           eps,
+		Lambda:        spec.Lambda,
+		MaxPairs:      maxPairs,
+		DistanceAttrs: spec.DistanceAttrs,
+		// The graph's shared engine: every job on this graph reuses one
+		// warm candidate cache and one matcher pool.
+		Engine: h.Engine(),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// bindMissingLadders binds value ladders for range variables the DSL left
+// unbound, preserving explicitly pinned ladders (Template.BindDomains
+// overwrites every variable, so pinned ones are saved and restored).
+func bindMissingLadders(tpl *query.Template, g *graph.Graph, maxDomain int) error {
+	if maxDomain <= 0 {
+		maxDomain = 8
+	}
+	pinned := map[int][]graph.Value{}
+	needsBind := false
+	for vi := range tpl.Vars {
+		v := &tpl.Vars[vi]
+		if v.Kind != query.RangeVar {
+			continue
+		}
+		if len(v.Ladder) > 0 {
+			pinned[vi] = v.Ladder
+		} else {
+			needsBind = true
+		}
+	}
+	if !needsBind {
+		return nil
+	}
+	if err := tpl.BindDomains(g, query.DomainOptions{MaxValues: maxDomain}); err != nil {
+		return err
+	}
+	for vi, ladder := range pinned {
+		tpl.Vars[vi].Ladder = ladder
+	}
+	return nil
+}
+
+// runSpec executes a job's algorithm over its prepared configuration and
+// renders the result. The context carries the job deadline; hook, when
+// non-nil, receives every verification event.
+func runSpec(spec *JobSpec, cfg *core.Config, hook func(core.VerifyEvent)) (*JobResult, error) {
+	cfg.OnVerified = hook
+	runner, err := core.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var res *core.Result
+	switch spec.Algorithm {
+	case "enum":
+		res, err = runner.EnumQGen()
+	case "rf":
+		res, err = runner.RfQGen()
+	case "bi":
+		res, err = runner.BiQGen()
+	case "par":
+		res, err = runner.ParQGen(spec.Workers)
+	case "kungs":
+		res, err = runner.Kungs()
+	case "cbm":
+		res, err = runner.CBM(core.CBMOptions{})
+	default:
+		err = fmt.Errorf("server: unknown algorithm %q", spec.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &JobResult{
+		Algorithm: spec.Algorithm,
+		Eps:       res.Eps,
+		ElapsedMs: float64(res.Elapsed) / float64(time.Millisecond),
+		Stats:     res.Stats,
+		Queries:   make([]ResultQuery, 0, len(res.Set)),
+	}
+	for _, v := range res.Set {
+		out.Queries = append(out.Queries, ResultQuery{
+			Bindings:  append([]int(nil), v.Q.I...),
+			Text:      v.Q.String(),
+			Diversity: v.Point.Div,
+			Coverage:  v.Point.Cov,
+			Answers:   len(v.Matches),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for fairsqgd: build, start on a random port,
+# upload a generated graph, run a job to completion, scrape metrics, and
+# shut down cleanly with SIGTERM. Needs only bash, curl and go.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+        kill -9 "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+say() { echo "smoke: $*"; }
+fail() { say "FAIL: $*"; [[ -f "$work/server.log" ]] && sed 's/^/  server: /' "$work/server.log"; exit 1; }
+
+say "building fairsqgd and graphgen"
+(cd "$root" && go build -o "$work/fairsqgd" ./cmd/fairsqgd && go build -o "$work/graphgen" ./cmd/graphgen)
+
+say "generating a small lki graph"
+"$work/graphgen" -dataset lki -nodes 2000 -seed 7 -out "$work/lki.tsv"
+
+say "starting fairsqgd on a random port"
+"$work/fairsqgd" -addr 127.0.0.1:0 -workers 2 -queue 8 >"$work/server.log" 2>&1 &
+pid=$!
+
+# The daemon logs its actual listen address; wait for it.
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/.*listening on //p' "$work/server.log" | head -n1)"
+    [[ -n "$addr" ]] && break
+    kill -0 "$pid" 2>/dev/null || fail "server died during startup"
+    sleep 0.1
+done
+[[ -n "$addr" ]] || fail "server never reported its address"
+base="http://$addr"
+say "server is at $base"
+
+curl -fsS "$base/healthz" >/dev/null || fail "healthz"
+
+say "uploading the graph"
+curl -fsS -X PUT --data-binary @"$work/lki.tsv" "$base/v1/graphs/lki?format=tsv" >/dev/null || fail "graph upload"
+
+say "submitting the example job"
+job_json="$root/examples/server/job.json"
+id="$(curl -fsS -X POST --data-binary @"$job_json" "$base/v1/jobs" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+[[ -n "$id" ]] || fail "no job id in submit response"
+say "job $id accepted"
+
+state=""
+for _ in $(seq 1 300); do
+    state="$(curl -fsS "$base/v1/jobs/$id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')"
+    case "$state" in
+        done) break ;;
+        failed|cancelled) fail "job ended $state: $(curl -fsS "$base/v1/jobs/$id")" ;;
+    esac
+    sleep 0.2
+done
+[[ "$state" == "done" ]] || fail "job stuck in state '$state'"
+say "job finished"
+
+queries="$(curl -fsS "$base/v1/jobs/$id/result" | grep -c '"text"')" || true
+[[ "$queries" -gt 0 ]] || fail "result has no queries"
+say "result has $queries queries"
+
+curl -fsS "$base/v1/jobs/$id/events" | tail -n1 | grep -q '"state":"done"' || fail "event stream missing terminal state"
+
+metrics="$(curl -fsS "$base/metrics")"
+echo "$metrics" | grep -q '"done": 1' || fail "metrics do not show the finished job: $metrics"
+
+say "stopping with SIGTERM"
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+    fail "server did not exit after SIGTERM"
+fi
+wait "$pid" && rc=0 || rc=$?
+[[ "$rc" -eq 0 ]] || fail "server exited with status $rc"
+grep -q "bye" "$work/server.log" || fail "clean-shutdown log line missing"
+pid=""
+say "PASS"

@@ -1,0 +1,32 @@
+package fairsqg
+
+import (
+	"fairsqg/internal/server"
+)
+
+// Re-exported fairsqgd service types. The daemon in cmd/fairsqgd is the
+// usual entry point; these aliases let programs embed the service — its
+// graph registry, async job manager and HTTP surface — directly.
+type (
+	// Server is the assembled HTTP query-generation service.
+	Server = server.Server
+	// ServerOptions configures a Server.
+	ServerOptions = server.Options
+	// JobManagerOptions tunes the async job manager.
+	JobManagerOptions = server.ManagerOptions
+	// JobSpec is the JSON body of a job submission.
+	JobSpec = server.JobSpec
+	// JobGroupsSpec declares a job's fairness groups.
+	JobGroupsSpec = server.GroupsSpec
+	// JobStatus is a job's externally visible summary.
+	JobStatus = server.JobStatus
+	// JobResult is the rendered outcome of a finished job.
+	JobResult = server.JobResult
+	// JobEvent is one NDJSON line of a job's progress stream.
+	JobEvent = server.JobEvent
+	// GraphInfo summarizes a registered graph.
+	GraphInfo = server.GraphInfo
+)
+
+// NewServer builds the HTTP service; see server.New.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
