@@ -50,6 +50,7 @@ func main() {
 	distAttrs := flag.String("dist-attrs", "", "comma-separated attributes for the diversity distance")
 	matchWorkers := flag.Int("match-workers", 0, "per-instance match fan-out: 0/1 sequential, >1 concurrent engine, <0 GOMAXPROCS")
 	candCache := flag.Int("cand-cache", 0, "candidate cache entries: 0 default, <0 disabled")
+	noAttrIndex := flag.Bool("no-attr-index", false, "disable sorted attribute indexes for candidate selection (linear-scan ablation)")
 
 	k := flag.Int("k", 10, "online: result size to maintain")
 	w := flag.Int("w", 40, "online: sliding-window size")
@@ -117,6 +118,7 @@ func main() {
 	cfg := &fairsqg.Config{
 		G: g, Template: tpl, Groups: set, Eps: *eps, MaxPairs: *maxPairs,
 		MatchWorkers: *matchWorkers, CandCacheSize: *candCache,
+		DisableAttrIndex: *noAttrIndex,
 	}
 	if *distAttrs != "" {
 		cfg.DistanceAttrs = strings.Split(*distAttrs, ",")

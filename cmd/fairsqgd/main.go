@@ -65,6 +65,7 @@ func run(args []string, errw *os.File) int {
 		maxTimeout   = fs.Duration("max-timeout", 30*time.Minute, "ceiling on per-job deadlines")
 		matchWorkers = fs.Int("match-workers", 0, "per-graph match engine fan-out (0 = GOMAXPROCS)")
 		candCache    = fs.Int("cand-cache", 0, "per-graph candidate cache entries (0 default, <0 disable)")
+		noAttrIndex  = fs.Bool("no-attr-index", false, "disable sorted attribute indexes for candidate selection (linear-scan ablation)")
 		maxUpload    = fs.Int64("max-upload", 64<<20, "largest accepted graph upload in bytes")
 		drainFor     = fs.Duration("drain", 30*time.Second, "how long shutdown waits for running jobs")
 		graphs       graphFlags
@@ -87,11 +88,12 @@ func run(args []string, errw *os.File) int {
 			DefaultTimeout: *timeout,
 			MaxTimeout:     *maxTimeout,
 		},
-		MatchWorkers:   *matchWorkers,
-		CandCacheSize:  *candCache,
-		MaxUploadBytes: *maxUpload,
-		RequireGraph:   false,
-		Logger:         logger,
+		MatchWorkers:     *matchWorkers,
+		CandCacheSize:    *candCache,
+		DisableAttrIndex: *noAttrIndex,
+		MaxUploadBytes:   *maxUpload,
+		RequireGraph:     false,
+		Logger:           logger,
 	})
 	srv.PublishExpvar("fairsqgd")
 

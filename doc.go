@@ -55,8 +55,15 @@
 //
 // # Performance
 //
-// Two Config knobs control how each instance's answer set is computed;
-// both leave results bit-identical to the sequential defaults:
+// Freezing a graph materializes typed per-attribute columns (with
+// presence bitmaps) in place of per-node attribute maps, and builds a
+// sorted permutation index for every (label, attribute) pair. Literal
+// evaluation reads columns through interned attribute IDs, and candidate
+// selection binary-searches the most selective literal's index instead of
+// scanning the label, falling back to the scan for unselective ranges.
+//
+// Three Config knobs control how each instance's answer set is computed;
+// all leave results bit-identical to the sequential defaults:
 //
 //   - Config.MatchWorkers: 0 or 1 evaluates matches sequentially; a value
 //     above 1 routes verification through a concurrent match engine
@@ -68,6 +75,11 @@
 //     one template that share bound literals. 0 picks a default size;
 //     negative disables the cache. Hit/miss/eviction counts are reported
 //     in Stats.Cache.
+//   - Config.DisableAttrIndex: forces candidate selection onto the
+//     linear-scan reference path (ablation). Access-path counts are
+//     reported in Stats.Matcher.IndexSelections and ScanSelections; a
+//     frozen graph's column and index footprint is available from
+//     Graph.Memory (GraphMemoryStats).
 //
 // NewMatchEngine exposes the engine directly for callers that evaluate
 // instances outside a Generator; it is safe for concurrent use and honors

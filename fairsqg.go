@@ -25,6 +25,11 @@ type (
 	Op = graph.Op
 	// Stats summarizes a graph.
 	GraphStats = graph.Stats
+	// GraphMemoryStats reports a frozen graph's columnar-storage and
+	// sorted-index footprint (fixed at Freeze).
+	GraphMemoryStats = graph.MemoryStats
+	// AttrID is an interned attribute name in one graph's dictionary.
+	AttrID = graph.AttrID
 
 	// Template is a query template Q(u_o) with variables.
 	Template = query.Template

@@ -10,16 +10,25 @@ func benchConfig(b *testing.B) *Config {
 }
 
 func BenchmarkEnumQGen(b *testing.B) {
-	cfg := benchConfig(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r, err := NewRunner(cfg)
-		if err != nil {
-			b.Fatal(err)
+	for _, noIndex := range []bool{false, true} {
+		name := "index"
+		if noIndex {
+			name = "scan"
 		}
-		if _, err := r.EnumQGen(); err != nil {
-			b.Fatal(err)
-		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchConfig(b)
+			cfg.DisableAttrIndex = noIndex
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := NewRunner(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.EnumQGen(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -38,16 +47,25 @@ func BenchmarkRfQGen(b *testing.B) {
 }
 
 func BenchmarkBiQGen(b *testing.B) {
-	cfg := benchConfig(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r, err := NewRunner(cfg)
-		if err != nil {
-			b.Fatal(err)
+	for _, noIndex := range []bool{false, true} {
+		name := "index"
+		if noIndex {
+			name = "scan"
 		}
-		if _, err := r.BiQGen(); err != nil {
-			b.Fatal(err)
-		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchConfig(b)
+			cfg.DisableAttrIndex = noIndex
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := NewRunner(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.BiQGen(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

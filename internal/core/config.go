@@ -91,6 +91,11 @@ type Config struct {
 	// rejects an instance when the per-group counts of its arc-consistent
 	// candidate superset already violate a constraint (ablation).
 	DisableBoundPrune bool
+	// DisableAttrIndex forces candidate selection onto the linear-scan
+	// reference path instead of the sorted per-(label, attribute) indexes
+	// built at graph freeze (ablation). Results are identical in both
+	// settings; only the access path changes.
+	DisableAttrIndex bool
 
 	// OnVerified, when set, is invoked after every instance verification —
 	// the hook behind the anytime-quality experiments (Fig. 9(e), 11(b)).

@@ -27,11 +27,11 @@ type Runner struct {
 	// instances concurrently; the sequential matcher stays the reference
 	// implementation and still handles multi-output evaluation. Matcher and
 	// engine share one candidate cache so either path warms the other.
-	engine  *match.Engine
-	div     *measure.Diversity
-	cache   map[string]*Verified
-	stats   Stats
-	verSeq  int
+	engine *match.Engine
+	div    *measure.Diversity
+	cache  map[string]*Verified
+	stats  Stats
+	verSeq int
 	// extraNodes are the resolved multi-output template node indices.
 	extraNodes []int
 }
@@ -48,6 +48,7 @@ func NewRunner(cfg *Config) (*Runner, error) {
 	m := match.New(cfg.G)
 	m.Mode = cfg.Mode
 	m.MaxBacktrackNodes = cfg.MaxBacktrackNodes
+	m.DisableAttrIndex = cfg.DisableAttrIndex
 	if cfg.Ctx != nil {
 		m.BindContext(ctx)
 	}
@@ -119,6 +120,7 @@ func newConfigEngine(cfg *Config) *match.Engine {
 		MaxBacktrackNodes: cfg.MaxBacktrackNodes,
 		Workers:           cfg.MatchWorkers,
 		CandCacheSize:     cfg.CandCacheSize,
+		DisableAttrIndex:  cfg.DisableAttrIndex,
 	})
 }
 
@@ -150,6 +152,8 @@ func (r *Runner) Stats() Stats {
 		s.Matcher.Evals += int(es.Evals)
 		s.Matcher.CandidatesChecked += int(es.CandidatesChecked)
 		s.Matcher.BacktrackNodes += int(es.BacktrackNodes)
+		s.Matcher.IndexSelections += int(es.IndexSelections)
+		s.Matcher.ScanSelections += int(es.ScanSelections)
 		s.Cache = es.Cache
 	} else if r.matcher.Cache != nil {
 		s.Cache = r.matcher.Cache.Stats()

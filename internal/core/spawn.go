@@ -72,11 +72,12 @@ func (s *spawner) restrictions(v *Verified, hood map[graph.NodeID]bool) (map[int
 			return e
 		}
 		var e extrema
+		aid := g.AttrIDOf(attr)
 		for n := range hood {
 			if g.Label(n) != label {
 				continue
 			}
-			val := g.Attr(n, attr)
+			val := g.AttrValue(n, aid)
 			if val.IsNull() {
 				continue
 			}

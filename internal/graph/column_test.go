@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// buildColumnSample exercises every storage shape the columnar layer has:
+// a uniform numeric attribute, a uniform string attribute, a bool
+// attribute, a mixed-kind attribute, and attributes missing from some
+// nodes of the label.
+func buildColumnSample(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	g.AddNode("P", map[string]Value{"age": Int(30), "name": Str("ann"), "vip": Bool(true)})
+	g.AddNode("P", map[string]Value{"age": Int(40), "name": Str("bob"), "mix": Int(3)})
+	g.AddNode("P", map[string]Value{"age": Int(25), "mix": Str("x")})
+	g.AddNode("P", map[string]Value{"age": Int(40), "vip": Bool(false)})
+	g.AddNode("P", nil)
+	g.AddNode("Q", map[string]Value{"age": Int(99)})
+	g.Freeze()
+	return g
+}
+
+func TestColumnsPreserveValues(t *testing.T) {
+	g := buildColumnSample(t)
+	want := []map[string]Value{
+		{"age": Int(30), "name": Str("ann"), "vip": Bool(true)},
+		{"age": Int(40), "name": Str("bob"), "mix": Int(3)},
+		{"age": Int(25), "mix": Str("x")},
+		{"age": Int(40), "vip": Bool(false)},
+		{},
+		{"age": Int(99)},
+	}
+	for v, attrs := range want {
+		got := g.Attrs(NodeID(v))
+		if len(got) != len(attrs) {
+			t.Fatalf("node %d: got %d attrs, want %d (%v)", v, len(got), len(attrs), got)
+		}
+		for name, val := range attrs {
+			if !g.Attr(NodeID(v), name).Equal(val) {
+				t.Errorf("node %d attr %q = %v, want %v", v, name, g.Attr(NodeID(v), name), val)
+			}
+			id := g.AttrIDOf(name)
+			if !g.AttrValue(NodeID(v), id).Equal(val) {
+				t.Errorf("node %d AttrValue(%q) = %v, want %v", v, name, g.AttrValue(NodeID(v), id), val)
+			}
+		}
+	}
+	// Absent attributes read Null through every accessor.
+	if !g.Attr(4, "age").IsNull() || !g.AttrValue(4, g.AttrIDOf("age")).IsNull() {
+		t.Error("absent attribute should read Null")
+	}
+	if !g.AttrValue(0, InvalidAttr).IsNull() || !g.AttrValue(0, AttrID(1000)).IsNull() {
+		t.Error("out-of-range AttrID should read Null")
+	}
+}
+
+func TestSortedIndexRangeMatchesScan(t *testing.T) {
+	g := buildColumnSample(t)
+	label := g.LookupLabel("P")
+	base := g.NodesByLabel("P")
+	ops := []Op{OpLT, OpLE, OpEQ, OpGE, OpGT}
+	for _, attr := range []string{"age", "name", "vip", "mix"} {
+		id := g.AttrIDOf(attr)
+		ix := g.SortedIndex(label, id)
+		if !ix.Valid() {
+			t.Fatalf("no index for (P, %s)", attr)
+		}
+		if ix.Len() != len(base) {
+			t.Fatalf("(P, %s) index has %d entries, want the full label population %d",
+				attr, ix.Len(), len(base))
+		}
+		// Bounds probe below, at, between and above the data, duplicate
+		// values, the Null value, and every kind.
+		bounds := []Value{
+			Null, Bool(false), Bool(true),
+			Int(0), Int(25), Int(30), Int(33), Int(40), Int(100),
+			Str(""), Str("ann"), Str("bob"), Str("zzz"), Num(math.NaN()),
+		}
+		for _, op := range ops {
+			for _, bound := range bounds {
+				lo, hi := ix.Range(op, bound)
+				inRange := map[NodeID]bool{}
+				for i := lo; i < hi; i++ {
+					inRange[ix.At(i)] = true
+				}
+				for _, v := range base {
+					want := op.Apply(g.AttrValue(v, id), bound)
+					if inRange[v] != want {
+						t.Errorf("(%s %s %v) node %d: index says %v, scan says %v",
+							attr, op, bound, v, inRange[v], want)
+					}
+				}
+			}
+		}
+		// OpInvalid yields the empty range, matching Op.Apply.
+		if lo, hi := ix.Range(OpInvalid, Int(1)); lo != hi {
+			t.Errorf("OpInvalid range = [%d,%d), want empty", lo, hi)
+		}
+	}
+	// No index exists for an attribute absent from the label.
+	if g.SortedIndex(g.LookupLabel("Q"), g.AttrIDOf("name")).Valid() {
+		t.Error("(Q, name) should have no index")
+	}
+	if g.SortedIndex(label, InvalidAttr).Valid() {
+		t.Error("InvalidAttr should have no index")
+	}
+}
+
+func TestSortedIndexValueOrder(t *testing.T) {
+	g := buildColumnSample(t)
+	ix := g.SortedIndex(g.LookupLabel("P"), g.AttrIDOf("age"))
+	for i := 1; i < ix.Len(); i++ {
+		prev, cur := ix.ValueAt(i-1), ix.ValueAt(i)
+		if c := prev.Compare(cur); c > 0 || (c == 0 && ix.At(i-1) >= ix.At(i)) {
+			t.Fatalf("index not sorted by (value, NodeID) at %d: (%v,%d) then (%v,%d)",
+				i, prev, ix.At(i-1), cur, ix.At(i))
+		}
+	}
+	// Missing attributes sort first as Null.
+	if !ix.ValueAt(0).IsNull() {
+		t.Errorf("first entry should be the attribute-less node, got %v", ix.ValueAt(0))
+	}
+}
+
+// TestAttrsReturnsCopy is the regression test for the encapsulation leak:
+// Attrs used to hand out the node's internal map, so callers could corrupt
+// the graph.
+func TestAttrsReturnsCopy(t *testing.T) {
+	for _, frozen := range []bool{false, true} {
+		g := New()
+		v := g.AddNode("P", map[string]Value{"age": Int(30)})
+		if frozen {
+			g.Freeze()
+		}
+		m := g.Attrs(v)
+		m["age"] = Int(99)
+		m["injected"] = Str("nope")
+		if got := g.Attr(v, "age"); !got.Equal(Int(30)) {
+			t.Errorf("frozen=%v: mutating Attrs() result changed the graph: age = %v", frozen, got)
+		}
+		if got := g.Attr(v, "injected"); !got.IsNull() {
+			t.Errorf("frozen=%v: mutating Attrs() result injected an attribute: %v", frozen, got)
+		}
+	}
+}
+
+// TestAddNodeCopiesCallerMap is the regression test for the retention
+// leak: AddNode used to keep the caller's map, so later caller mutations
+// changed the node.
+func TestAddNodeCopiesCallerMap(t *testing.T) {
+	g := New()
+	attrs := map[string]Value{"age": Int(30)}
+	v := g.AddNode("P", attrs)
+	attrs["age"] = Int(99)
+	attrs["injected"] = Str("nope")
+	if got := g.Attr(v, "age"); !got.Equal(Int(30)) {
+		t.Errorf("caller mutation changed the node: age = %v", got)
+	}
+	if got := g.Attr(v, "injected"); !got.IsNull() {
+		t.Errorf("caller mutation injected an attribute: %v", got)
+	}
+}
+
+func TestMemoryStats(t *testing.T) {
+	g := buildColumnSample(t)
+	m := g.Memory()
+	if m.ColumnBytes <= 0 {
+		t.Errorf("ColumnBytes = %d, want > 0", m.ColumnBytes)
+	}
+	// P carries age, name, vip and mix; Q carries age: five indexes.
+	if m.Indexes != 5 {
+		t.Errorf("Indexes = %d, want 5", m.Indexes)
+	}
+	if m.IndexBytes <= 0 {
+		t.Errorf("IndexBytes = %d, want > 0", m.IndexBytes)
+	}
+}
+
+func TestAttrInterning(t *testing.T) {
+	g := buildColumnSample(t)
+	if g.AttrIDOf("no-such-attr") != InvalidAttr {
+		t.Error("unknown attribute should intern to InvalidAttr")
+	}
+	if g.NumAttrs() != 4 {
+		t.Errorf("NumAttrs = %d, want 4", g.NumAttrs())
+	}
+	for _, name := range []string{"age", "name", "vip", "mix"} {
+		id := g.AttrIDOf(name)
+		if id == InvalidAttr {
+			t.Fatalf("attribute %q not interned", name)
+		}
+		if got := g.AttrNameOf(id); got != name {
+			t.Errorf("AttrNameOf(%d) = %q, want %q", id, got, name)
+		}
+	}
+}
+
+func TestActiveDomainByID(t *testing.T) {
+	g := buildColumnSample(t)
+	byName := g.ActiveDomain("age")
+	byID := g.ActiveDomainByID(g.AttrIDOf("age"))
+	if len(byName) != len(byID) {
+		t.Fatalf("domain lengths differ: %d vs %d", len(byName), len(byID))
+	}
+	for i := range byName {
+		if !byName[i].Equal(byID[i]) {
+			t.Errorf("domain[%d]: %v vs %v", i, byName[i], byID[i])
+		}
+	}
+	want := []Value{Int(25), Int(30), Int(40), Int(99)}
+	if len(byName) != len(want) {
+		t.Fatalf("age domain = %v, want %v", byName, want)
+	}
+	for i := range want {
+		if !byName[i].Equal(want[i]) {
+			t.Fatalf("age domain = %v, want %v", byName, want)
+		}
+	}
+	if g.ActiveDomainByID(InvalidAttr) != nil {
+		t.Error("InvalidAttr domain should be nil")
+	}
+}

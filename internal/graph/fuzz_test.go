@@ -3,6 +3,7 @@ package graph
 import (
 	"bytes"
 	"io"
+	"math"
 	"testing"
 )
 
@@ -35,7 +36,7 @@ func FuzzReadTSV(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add([]byte("N\t0\tPerson\tgender=female\nN\t1\tOrg\nE\t0\t1\tworksAt\n"))
 	f.Add([]byte("# comment\n\nN\t0\tA\n"))
-	f.Add([]byte("N\t1\tA\n"))        // out-of-order id
+	f.Add([]byte("N\t1\tA\n"))       // out-of-order id
 	f.Add([]byte("E\t0\t1\tx\n"))    // edge before nodes
 	f.Add([]byte("X\tjunk\n"))       // unknown record
 	f.Add([]byte("N\t0\tA\tbroken")) // attribute without '='
@@ -66,6 +67,75 @@ func FuzzReadJSON(f *testing.F) {
 			return
 		}
 		roundTrip(t, g, WriteJSON, ReadJSON)
+	})
+}
+
+// fuzzValue decodes one Value from raw fuzz inputs, covering every kind
+// including NaN, infinities and the empty string.
+func fuzzValue(kind uint8, num float64, str string) Value {
+	switch kind % 4 {
+	case 0:
+		return Null
+	case 1:
+		return Bool(num != 0)
+	case 2:
+		return Num(num)
+	default:
+		return Str(str)
+	}
+}
+
+// FuzzValueTotalOrder checks that Compare is a total order on random value
+// triples — reflexivity, antisymmetry, transitivity, Equal consistency and
+// Op.Apply agreement. The sorted attribute indexes binary-search over this
+// order, so any violation (the classic one: NaN comparing "equal" to
+// everything) silently corrupts index-backed candidate selection.
+func FuzzValueTotalOrder(f *testing.F) {
+	f.Add(uint8(2), 1.5, "", uint8(2), math.NaN(), "", uint8(2), 2.5, "")
+	f.Add(uint8(0), 0.0, "", uint8(1), 1.0, "", uint8(3), 0.0, "a")
+	f.Add(uint8(3), 0.0, "a", uint8(3), 0.0, "ab", uint8(3), 0.0, "b")
+	f.Add(uint8(2), math.Inf(-1), "", uint8(2), 0.0, "", uint8(2), math.Inf(1), "")
+	f.Fuzz(func(t *testing.T, k1 uint8, n1 float64, s1 string,
+		k2 uint8, n2 float64, s2 string, k3 uint8, n3 float64, s3 string) {
+		u, v, w := fuzzValue(k1, n1, s1), fuzzValue(k2, n2, s2), fuzzValue(k3, n3, s3)
+		for _, x := range []Value{u, v, w} {
+			if x.Compare(x) != 0 {
+				t.Fatalf("Compare(%v, %v) = %d, want 0 (reflexivity)", x, x, x.Compare(x))
+			}
+		}
+		for _, p := range [][2]Value{{u, v}, {u, w}, {v, w}} {
+			a, b := p[0], p[1]
+			if sign(a.Compare(b)) != -sign(b.Compare(a)) {
+				t.Fatalf("antisymmetry broken: Compare(%v,%v)=%d, Compare(%v,%v)=%d",
+					a, b, a.Compare(b), b, a, b.Compare(a))
+			}
+			if a.Equal(b) != (a.Compare(b) == 0) {
+				t.Fatalf("Equal(%v,%v) disagrees with Compare", a, b)
+			}
+			// Op.Apply must agree with Compare for every operator.
+			for _, op := range []Op{OpLT, OpLE, OpEQ, OpGE, OpGT} {
+				c := a.Compare(b)
+				want := false
+				switch op {
+				case OpLT:
+					want = c < 0
+				case OpLE:
+					want = c <= 0
+				case OpEQ:
+					want = c == 0
+				case OpGE:
+					want = c >= 0
+				case OpGT:
+					want = c > 0
+				}
+				if op.Apply(a, b) != want {
+					t.Fatalf("Op %s disagrees with Compare on (%v, %v)", op, a, b)
+				}
+			}
+		}
+		if u.Compare(v) <= 0 && v.Compare(w) <= 0 && u.Compare(w) > 0 {
+			t.Fatalf("transitivity broken: %v <= %v <= %v but Compare(%v,%v) > 0", u, v, w, u, w)
+		}
 	})
 }
 

@@ -1,7 +1,11 @@
 // Package graph implements the attributed directed graph substrate used by
 // the FairSQG query-generation algorithms: nodes and edges carry labels,
-// nodes carry typed attribute tuples, and the graph maintains the label and
-// active-domain indexes the matcher and the spawners rely on.
+// nodes carry typed attribute tuples, and the graph maintains the label,
+// active-domain and sorted attribute indexes the matcher and the spawners
+// rely on. Storage is columnar once frozen: attribute names are interned
+// into dense AttrIDs and Freeze transposes the per-node tuples into typed
+// per-attribute columns (value array + presence bitmap) plus per-(label,
+// attribute) sorted permutation indexes.
 package graph
 
 import (
@@ -28,10 +32,11 @@ type LabelID int32
 // InvalidLabel is returned when a label has never been interned.
 const InvalidLabel LabelID = -1
 
-// nodeData is the per-node record.
+// nodeData is the per-node record. attrs holds the tuple only while the
+// graph is under construction; Freeze moves it into columns and nils it.
 type nodeData struct {
 	label LabelID
-	attrs map[string]Value
+	attrs []attrKV
 }
 
 // Graph is an attributed directed graph G = (V, E, L, T). Build it with
@@ -40,21 +45,26 @@ type nodeData struct {
 type Graph struct {
 	labels    []string
 	labelIDs  map[string]LabelID
+	attrTable []string // AttrID -> name, intern order
+	attrIDs   map[string]AttrID
 	nodes     []nodeData
 	out       [][]Edge
 	in        [][]Edge
 	numEdges  int
 	frozen    bool
 	byLabel   map[LabelID][]NodeID
-	domains   map[string][]Value
-	attrNames []string
+	cols      []column  // by AttrID; built at Freeze
+	domains   [][]Value // by AttrID; sorted distinct values
+	indexes   map[labelAttr][]NodeID
+	attrNames []string // sorted, for AttrNames
+	mem       MemoryStats
 	maxOutDeg int
 	maxInDeg  int
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{labelIDs: make(map[string]LabelID)}
+	return &Graph{labelIDs: make(map[string]LabelID), attrIDs: make(map[string]AttrID)}
 }
 
 // Intern returns the LabelID for s, creating it if needed.
@@ -85,15 +95,25 @@ func (g *Graph) LookupLabel(s string) LabelID {
 }
 
 // AddNode appends a node with the given label and attribute tuple and
-// returns its ID. The attrs map is retained; callers must not mutate it
-// afterwards. AddNode panics on a frozen graph.
+// returns its ID. The attrs map is copied (keys interned in sorted order,
+// so AttrID assignment is deterministic); the caller keeps ownership and
+// may reuse or mutate it afterwards. AddNode panics on a frozen graph.
 func (g *Graph) AddNode(label string, attrs map[string]Value) NodeID {
 	g.mustMutable("AddNode")
-	if attrs == nil {
-		attrs = map[string]Value{}
-	}
 	id := NodeID(len(g.nodes))
-	g.nodes = append(g.nodes, nodeData{label: g.Intern(label), attrs: attrs})
+	nd := nodeData{label: g.Intern(label)}
+	if len(attrs) > 0 {
+		names := make([]string, 0, len(attrs))
+		for a := range attrs {
+			names = append(names, a)
+		}
+		sort.Strings(names)
+		nd.attrs = make([]attrKV, 0, len(names))
+		for _, a := range names {
+			nd.attrs = append(nd.attrs, attrKV{id: g.internAttr(a), val: attrs[a]})
+		}
+	}
+	g.nodes = append(g.nodes, nd)
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	return id
@@ -120,8 +140,9 @@ func (g *Graph) mustMutable(op string) {
 	}
 }
 
-// Freeze builds the label index and per-attribute active domains and marks
-// the graph immutable. Freeze is idempotent.
+// Freeze builds the label index, the attribute columns with their active
+// domains, and the per-(label, attribute) sorted indexes, then marks the
+// graph immutable. Freeze is idempotent.
 func (g *Graph) Freeze() {
 	if g.frozen {
 		return
@@ -131,26 +152,8 @@ func (g *Graph) Freeze() {
 		l := g.nodes[i].label
 		g.byLabel[l] = append(g.byLabel[l], NodeID(i))
 	}
-	domains := make(map[string][]Value)
-	for i := range g.nodes {
-		for a, v := range g.nodes[i].attrs {
-			domains[a] = append(domains[a], v)
-		}
-	}
-	g.domains = make(map[string][]Value, len(domains))
-	g.attrNames = g.attrNames[:0]
-	for a, vs := range domains {
-		sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
-		dedup := vs[:0]
-		for i, v := range vs {
-			if i == 0 || !v.Equal(vs[i-1]) {
-				dedup = append(dedup, v)
-			}
-		}
-		g.domains[a] = dedup
-		g.attrNames = append(g.attrNames, a)
-	}
-	sort.Strings(g.attrNames)
+	g.buildColumns()
+	g.buildIndexes()
 	for i := range g.out {
 		sortEdges(g.out[i])
 		sortEdges(g.in[i])
@@ -188,22 +191,64 @@ func (g *Graph) Label(v NodeID) string { return g.labels[g.nodes[v].label] }
 // LabelID returns the node's interned label.
 func (g *Graph) NodeLabelID(v NodeID) LabelID { return g.nodes[v].label }
 
-// Attr returns the node's value for attribute a (Null when absent).
+// Attr returns the node's value for attribute a (Null when absent). Hot
+// paths should resolve the name once via AttrIDOf and use AttrValue.
 func (g *Graph) Attr(v NodeID, a string) Value {
-	if val, ok := g.nodes[v].attrs[a]; ok {
-		return val
-	}
-	return Null
+	return g.AttrValue(v, g.AttrIDOf(a))
 }
 
-// Attrs returns the node's attribute tuple. Callers must not mutate it.
-func (g *Graph) Attrs(v NodeID) map[string]Value { return g.nodes[v].attrs }
+// AttrPair is one (name, value) entry of a node's attribute tuple.
+type AttrPair struct {
+	Name  string
+	Value Value
+}
+
+// AttrPairs returns the node's attribute tuple sorted by name. The slice
+// is freshly assembled (from columns once frozen); callers own it.
+func (g *Graph) AttrPairs(v NodeID) []AttrPair {
+	if g.frozen {
+		var out []AttrPair
+		for _, name := range g.attrNames {
+			a := g.attrIDs[name]
+			if g.cols[a].has(v) {
+				out = append(out, AttrPair{Name: name, Value: g.cols[a].value(v)})
+			}
+		}
+		return out
+	}
+	kvs := g.nodes[v].attrs
+	out := make([]AttrPair, 0, len(kvs))
+	for _, kv := range kvs {
+		out = append(out, AttrPair{Name: g.attrTable[kv.id], Value: kv.val})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Attrs returns a copy of the node's attribute tuple as a map. Mutating
+// the result never affects the graph: once frozen the tuple is assembled
+// from the immutable columns.
+func (g *Graph) Attrs(v NodeID) map[string]Value {
+	pairs := g.AttrPairs(v)
+	out := make(map[string]Value, len(pairs))
+	for _, p := range pairs {
+		out[p.Name] = p.Value
+	}
+	return out
+}
 
 // SetAttr sets or overwrites one attribute of a node; only valid before
-// Freeze (active domains are built at freeze time).
+// Freeze (columns and active domains are built at freeze time).
 func (g *Graph) SetAttr(v NodeID, a string, val Value) {
 	g.mustMutable("SetAttr")
-	g.nodes[v].attrs[a] = val
+	id := g.internAttr(a)
+	for i := range g.nodes[v].attrs {
+		if g.nodes[v].attrs[i].id == id {
+			g.nodes[v].attrs[i].val = val
+			return
+		}
+	}
+	g.nodes[v].attrs = append(g.nodes[v].attrs, attrKV{id: id, val: val})
 }
 
 // Out returns the out-edges of v sorted by (label, target).
@@ -257,6 +302,19 @@ func (g *Graph) CountLabel(label string) int { return len(g.NodesByLabel(label))
 // over V. The slice is shared; callers must not mutate it.
 func (g *Graph) ActiveDomain(a string) []Value {
 	g.mustFrozen("ActiveDomain")
+	id, ok := g.attrIDs[a]
+	if !ok {
+		return nil
+	}
+	return g.domains[id]
+}
+
+// ActiveDomainByID is ActiveDomain for an already-interned attribute.
+func (g *Graph) ActiveDomainByID(a AttrID) []Value {
+	g.mustFrozen("ActiveDomainByID")
+	if a < 0 || int(a) >= len(g.domains) {
+		return nil
+	}
 	return g.domains[a]
 }
 

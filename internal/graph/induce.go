@@ -23,12 +23,11 @@ func Induce(g *Graph, nodes []NodeID) (*Graph, map[NodeID]NodeID) {
 	sub := New()
 	remap := make(map[NodeID]NodeID, len(selected))
 	for _, v := range selected {
-		attrs := g.Attrs(v)
-		copied := make(map[string]Value, len(attrs))
-		for k, val := range attrs {
-			copied[k] = val
+		nv := sub.AddNode(g.Label(v), nil)
+		for _, p := range g.AttrPairs(v) {
+			sub.SetAttr(nv, p.Name, p.Value)
 		}
-		remap[v] = sub.AddNode(g.Label(v), copied)
+		remap[v] = nv
 	}
 	for _, v := range selected {
 		for _, e := range g.Out(v) {

@@ -32,10 +32,10 @@ func WriteJSON(w io.Writer, g *Graph) error {
 	doc := jsonGraph{Nodes: make([]jsonNode, g.NumNodes())}
 	for i := range g.nodes {
 		n := jsonNode{ID: i, Label: g.labels[g.nodes[i].label]}
-		if len(g.nodes[i].attrs) > 0 {
-			n.Attrs = make(map[string]string, len(g.nodes[i].attrs))
-			for a, v := range g.nodes[i].attrs {
-				n.Attrs[a] = v.String()
+		if pairs := g.AttrPairs(NodeID(i)); len(pairs) > 0 {
+			n.Attrs = make(map[string]string, len(pairs))
+			for _, p := range pairs {
+				n.Attrs[p.Name] = p.Value.String()
 			}
 		}
 		doc.Nodes[i] = n
@@ -61,14 +61,18 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 		if n.ID != i {
 			return nil, fmt.Errorf("graph: node %d has id %d; ids must be dense and ordered", i, n.ID)
 		}
-		var attrs map[string]Value
-		if len(n.Attrs) > 0 {
-			attrs = make(map[string]Value, len(n.Attrs))
-			for a, s := range n.Attrs {
-				attrs[a] = ParseValue(s)
-			}
+		// Feed attributes straight into the builder columns: sorted names
+		// keep AttrID assignment deterministic, and no intermediate map is
+		// allocated per node.
+		id := g.AddNode(n.Label, nil)
+		names := make([]string, 0, len(n.Attrs))
+		for a := range n.Attrs {
+			names = append(names, a)
 		}
-		g.AddNode(n.Label, attrs)
+		sort.Strings(names)
+		for _, a := range names {
+			g.SetAttr(id, a, ParseValue(n.Attrs[a]))
+		}
 	}
 	for _, e := range doc.Edges {
 		if err := g.AddEdge(NodeID(e.From), NodeID(e.To), e.Label); err != nil {
@@ -89,13 +93,8 @@ func WriteTSV(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	for i := range g.nodes {
 		fmt.Fprintf(bw, "N\t%d\t%s", i, g.labels[g.nodes[i].label])
-		names := make([]string, 0, len(g.nodes[i].attrs))
-		for a := range g.nodes[i].attrs {
-			names = append(names, a)
-		}
-		sort.Strings(names)
-		for _, a := range names {
-			fmt.Fprintf(bw, "\t%s=%s", a, g.nodes[i].attrs[a].String())
+		for _, p := range g.AttrPairs(NodeID(i)) {
+			fmt.Fprintf(bw, "\t%s=%s", p.Name, p.Value.String())
 		}
 		fmt.Fprintln(bw)
 	}
@@ -132,18 +131,14 @@ func ReadTSV(r io.Reader) (*Graph, error) {
 			if id != g.NumNodes() {
 				return nil, fmt.Errorf("graph: line %d: node id %d out of order (expected %d)", lineNo, id, g.NumNodes())
 			}
-			var attrs map[string]Value
-			if len(fields) > 3 {
-				attrs = make(map[string]Value, len(fields)-3)
-				for _, kv := range fields[3:] {
-					eq := strings.IndexByte(kv, '=')
-					if eq < 0 {
-						return nil, fmt.Errorf("graph: line %d: bad attribute %q", lineNo, kv)
-					}
-					attrs[kv[:eq]] = ParseValue(kv[eq+1:])
+			nid := g.AddNode(fields[2], nil)
+			for _, kv := range fields[3:] {
+				eq := strings.IndexByte(kv, '=')
+				if eq < 0 {
+					return nil, fmt.Errorf("graph: line %d: bad attribute %q", lineNo, kv)
 				}
+				g.SetAttr(nid, kv[:eq], ParseValue(kv[eq+1:]))
 			}
-			g.AddNode(fields[2], attrs)
 		case "E":
 			if len(fields) != 4 {
 				return nil, fmt.Errorf("graph: line %d: edge record needs from, to, label", lineNo)

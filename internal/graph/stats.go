@@ -32,8 +32,8 @@ func Summarize(g *Graph) Stats {
 	g.mustFrozen("Summarize")
 	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
 	totalAttrs := 0
-	for i := range g.nodes {
-		totalAttrs += len(g.nodes[i].attrs)
+	for i := range g.cols {
+		totalAttrs += g.cols[i].count
 	}
 	if s.Nodes > 0 {
 		s.AvgAttrs = float64(totalAttrs) / float64(s.Nodes)

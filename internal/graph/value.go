@@ -96,15 +96,25 @@ func (v Value) Text() string {
 func (v Value) IsTrue() bool { return v.kind == KindBool && v.num != 0 }
 
 // Compare totally orders values: negative when v < w, zero when equal,
-// positive when v > w. Within KindNumber the order is numeric; within
-// KindString it is lexicographic; across kinds null < bool < number < string.
+// positive when v > w. Within KindNumber the order is numeric with NaN
+// sorting before every other number (and equal to itself) — IEEE
+// comparisons alone would make NaN "equal" to everything, breaking the
+// transitivity the sorted attribute indexes rely on. Within KindString the
+// order is lexicographic; across kinds null < bool < number < string.
 func (v Value) Compare(w Value) int {
 	if v.kind != w.kind {
 		return int(v.kind) - int(w.kind)
 	}
 	switch v.kind {
 	case KindNumber, KindBool:
+		vn, wn := math.IsNaN(v.num), math.IsNaN(w.num)
 		switch {
+		case vn && wn:
+			return 0
+		case vn:
+			return -1
+		case wn:
+			return 1
 		case v.num < w.num:
 			return -1
 		case v.num > w.num:

@@ -77,8 +77,9 @@ func (s Set) Count(answer []graph.NodeID) []int {
 // are returned sorted by value; constraints are left at zero.
 func ByAttribute(g *graph.Graph, label, attr string) Set {
 	byVal := map[string]map[graph.NodeID]bool{}
+	aid := g.AttrIDOf(attr)
 	for _, v := range g.NodesByLabel(label) {
-		val := g.Attr(v, attr)
+		val := g.AttrValue(v, aid)
 		if val.IsNull() {
 			continue
 		}

@@ -5,8 +5,56 @@ import (
 	"fmt"
 	"testing"
 
+	"fairsqg/internal/graph"
 	"fairsqg/internal/query"
 )
+
+// candidateBenchGraph builds a 100k-node single-label graph whose "score"
+// attribute spreads uniformly over [0, n): the candidate-selection
+// benchmarks sweep literal selectivity against it.
+func candidateBenchGraph(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		// 7919 is coprime with n=100000, so scores permute [0, n) and the
+		// sorted index is a genuine shuffle of the insertion order.
+		g.AddNode("Person", map[string]graph.Value{"score": graph.Int(int64(i * 7919 % n))})
+	}
+	g.Freeze()
+	return g
+}
+
+// BenchmarkCandidates measures one candidate selection — the label's nodes
+// filtered by a range literal — through the sorted attribute index and
+// through the linear-scan reference path, across selectivities. The CI
+// smoke job runs this family with -benchtime=1x; BENCH.md records the
+// index-vs-scan crossover.
+func BenchmarkCandidates(b *testing.B) {
+	const n = 100000
+	g := candidateBenchGraph(b, n)
+	for _, sel := range []float64{0.001, 0.01, 0.1, 0.5} {
+		bound := graph.Int(int64(float64(n) * (1 - sel)))
+		lits := query.CompileLiterals(g, []query.BoundLiteral{
+			{Attr: "score", Op: graph.OpGE, Value: bound},
+		})
+		for _, noIndex := range []bool{false, true} {
+			path := "index"
+			if noIndex {
+				path = "scan"
+			}
+			b.Run(fmt.Sprintf("%s/sel=%g", path, sel), func(b *testing.B) {
+				m := New(g)
+				m.DisableAttrIndex = noIndex
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if got := m.selectCandidates("Person", lits); len(got) == 0 {
+						b.Fatal("selection came back empty")
+					}
+				}
+			})
+		}
+	}
+}
 
 // BenchmarkEvalOutputScratch measures from-scratch verification of a mid
 // lattice instance on a 3000-node random graph.

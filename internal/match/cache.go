@@ -63,11 +63,12 @@ func NewCandidateCache(capacity int) *CandidateCache {
 	}
 }
 
-// candKey canonicalizes a (node label, bound literals) pair: literals are
-// sorted by (attr, op, value) so textual permutations of the same predicate
-// set share one entry. Value kinds are encoded to keep Str("1") distinct
-// from Int(1).
-func candKey(label string, lits []query.BoundLiteral) string {
+// candKey canonicalizes a (node label, compiled literals) pair: literals
+// are sorted by (attr, op, value) so textual permutations of the same
+// predicate set share one entry. Value kinds are encoded to keep Str("1")
+// distinct from Int(1). The interned AttrID is deliberately excluded — it
+// is a per-graph artifact of the attribute name already in the key.
+func candKey(label string, lits []query.CompiledLiteral) string {
 	parts := make([]string, len(lits))
 	for i, l := range lits {
 		parts[i] = l.Attr + "\x01" + l.Op.String() + "\x01" +

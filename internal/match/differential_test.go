@@ -18,20 +18,28 @@ const differentialSeed = 7321
 
 // engineMatrix enumerates the engine configurations the differential suite
 // checks against the sequential reference: workers 1, 4 and GOMAXPROCS,
-// each with the candidate cache on and off.
+// each with the candidate cache on and off, each with the sorted attribute
+// indexes on and off.
 func engineMatrix(g *graph.Graph, mode Mode) map[string]*Engine {
 	workerSet := []int{1, 4, runtime.GOMAXPROCS(0)}
 	m := make(map[string]*Engine)
 	for _, w := range workerSet {
 		for _, cacheSize := range []int{0, -1} {
-			name := "workers=" + strconv.Itoa(w) + "/cache=on"
-			if cacheSize < 0 {
-				name = "workers=" + strconv.Itoa(w) + "/cache=off"
+			for _, noIndex := range []bool{false, true} {
+				name := "workers=" + strconv.Itoa(w) + "/cache=on"
+				if cacheSize < 0 {
+					name = "workers=" + strconv.Itoa(w) + "/cache=off"
+				}
+				if noIndex {
+					name += "/index=off"
+				}
+				if _, dup := m[name]; dup {
+					continue // GOMAXPROCS may coincide with 1 or 4
+				}
+				m[name] = NewEngine(g, EngineOptions{
+					Mode: mode, Workers: w, CandCacheSize: cacheSize, DisableAttrIndex: noIndex,
+				})
 			}
-			if _, dup := m[name]; dup {
-				continue // GOMAXPROCS may coincide with 1 or 4
-			}
-			m[name] = NewEngine(g, EngineOptions{Mode: mode, Workers: w, CandCacheSize: cacheSize})
 		}
 	}
 	return m

@@ -22,6 +22,9 @@ type EngineOptions struct {
 	// CandCacheSize bounds the shared candidate cache: 0 selects
 	// DefaultCandCacheSize, a negative value disables caching entirely.
 	CandCacheSize int
+	// DisableAttrIndex forces pooled matchers onto the linear-scan
+	// reference path for candidate selection (see Matcher.DisableAttrIndex).
+	DisableAttrIndex bool
 }
 
 // EngineStats aggregates the work done through an Engine.
@@ -33,6 +36,10 @@ type EngineStats struct {
 	Evals             int64
 	CandidatesChecked int64
 	BacktrackNodes    int64
+	// IndexSelections and ScanSelections sum the pooled matchers' candidate
+	// access-path counters (see Stats).
+	IndexSelections int64
+	ScanSelections  int64
 	// Cache reports candidate-cache effectiveness; zero when disabled.
 	Cache CacheStats
 }
@@ -53,12 +60,15 @@ type Engine struct {
 	maxBacktrackNodes int
 	workers           int
 	cache             *CandidateCache
+	disableAttrIndex  bool
 	pool              sync.Pool
 
 	parEvals          atomic.Int64
 	evals             atomic.Int64
 	candidatesChecked atomic.Int64
 	backtrackNodes    atomic.Int64
+	indexSelections   atomic.Int64
+	scanSelections    atomic.Int64
 }
 
 // NewEngine returns an engine over a frozen graph.
@@ -80,12 +90,14 @@ func NewEngine(g *graph.Graph, opts EngineOptions) *Engine {
 		maxBacktrackNodes: opts.MaxBacktrackNodes,
 		workers:           workers,
 		cache:             cache,
+		disableAttrIndex:  opts.DisableAttrIndex,
 	}
 	e.pool.New = func() any {
 		m := New(g)
 		m.Mode = e.mode
 		m.MaxBacktrackNodes = e.maxBacktrackNodes
 		m.Cache = e.cache
+		m.DisableAttrIndex = e.disableAttrIndex
 		return m
 	}
 	return e
@@ -110,6 +122,8 @@ func (e *Engine) Stats() EngineStats {
 		Evals:             e.evals.Load(),
 		CandidatesChecked: e.candidatesChecked.Load(),
 		BacktrackNodes:    e.backtrackNodes.Load(),
+		IndexSelections:   e.indexSelections.Load(),
+		ScanSelections:    e.scanSelections.Load(),
 	}
 	if e.cache != nil {
 		s.Cache = e.cache.Stats()
@@ -126,6 +140,8 @@ func (e *Engine) release(m *Matcher) {
 	e.evals.Add(int64(m.Stats.Evals))
 	e.candidatesChecked.Add(int64(m.Stats.CandidatesChecked))
 	e.backtrackNodes.Add(int64(m.Stats.BacktrackNodes))
+	e.indexSelections.Add(int64(m.Stats.IndexSelections))
+	e.scanSelections.Add(int64(m.Stats.ScanSelections))
 	m.Stats = Stats{}
 	m.bindContext(nil)
 	e.pool.Put(m)

@@ -223,16 +223,16 @@ func TestCandidateCacheLRUEviction(t *testing.T) {
 }
 
 func TestCandKeyCanonicalizesLiteralOrder(t *testing.T) {
-	a := query.BoundLiteral{Attr: "x", Op: graph.OpGE, Value: graph.Int(3)}
-	b := query.BoundLiteral{Attr: "y", Op: graph.OpLE, Value: graph.Str("q")}
-	k1 := candKey("Person", []query.BoundLiteral{a, b})
-	k2 := candKey("Person", []query.BoundLiteral{b, a})
+	a := query.CompiledLiteral{Attr: "x", Op: graph.OpGE, Value: graph.Int(3)}
+	b := query.CompiledLiteral{Attr: "y", Op: graph.OpLE, Value: graph.Str("q")}
+	k1 := candKey("Person", []query.CompiledLiteral{a, b})
+	k2 := candKey("Person", []query.CompiledLiteral{b, a})
 	if k1 != k2 {
 		t.Errorf("literal order changed the key:\n%q\n%q", k1, k2)
 	}
 	// Distinct value kinds must stay distinct even with equal renderings.
-	k3 := candKey("Person", []query.BoundLiteral{{Attr: "x", Op: graph.OpEQ, Value: graph.Str("1")}})
-	k4 := candKey("Person", []query.BoundLiteral{{Attr: "x", Op: graph.OpEQ, Value: graph.Int(1)}})
+	k3 := candKey("Person", []query.CompiledLiteral{{Attr: "x", Op: graph.OpEQ, Value: graph.Str("1")}})
+	k4 := candKey("Person", []query.CompiledLiteral{{Attr: "x", Op: graph.OpEQ, Value: graph.Int(1)}})
 	if k3 == k4 {
 		t.Error("Str(\"1\") and Int(1) share a cache key")
 	}

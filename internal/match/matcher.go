@@ -32,6 +32,12 @@ type Stats struct {
 	CandidatesChecked int
 	// BacktrackNodes counts search-tree nodes expanded.
 	BacktrackNodes int
+	// IndexSelections counts candidate selections answered through a
+	// sorted per-(label, attribute) index; ScanSelections counts linear
+	// label scans (the reference path, also taken when no literal's index
+	// range is selective enough).
+	IndexSelections int
+	ScanSelections  int
 }
 
 // Matcher evaluates query instances against one frozen graph.
@@ -52,6 +58,10 @@ type Matcher struct {
 	// phase across evaluations (and across Matchers sharing the cache).
 	// Results are unchanged; only repeated nodeSatisfies scans are skipped.
 	Cache *CandidateCache
+	// DisableAttrIndex forces the linear-scan reference path for candidate
+	// selection instead of the sorted per-(label, attribute) indexes.
+	// Results are identical; only the access path changes (ablation knob).
+	DisableAttrIndex bool
 
 	Stats Stats
 
@@ -194,7 +204,7 @@ func (m *Matcher) buildPlan(q *query.Instance, pin int, within []graph.NodeID) *
 	p.candSet = make([]map[graph.NodeID]bool, len(p.nodes))
 	pinIdx := p.nodePos[pin]
 	for i, ni := range p.nodes {
-		lits := q.BoundLiterals(ni)
+		lits := q.CompiledLiterals(m.G, ni)
 		var cands []graph.NodeID
 		if i == pinIdx && within != nil {
 			cands = make([]graph.NodeID, 0, len(within))
@@ -225,16 +235,9 @@ func (m *Matcher) buildPlan(q *query.Instance, pin int, within []graph.NodeID) *
 // the candidate cache when attached. Cached lists are immutable, so both
 // the stored list and the returned list are private copies (propagate
 // prunes plan candidate slices in place).
-func (m *Matcher) filteredCandidates(label string, lits []query.BoundLiteral) []graph.NodeID {
+func (m *Matcher) filteredCandidates(label string, lits []query.CompiledLiteral) []graph.NodeID {
 	if m.Cache == nil {
-		base := m.G.NodesByLabel(label)
-		cands := make([]graph.NodeID, 0, len(base))
-		for _, v := range base {
-			if nodeSatisfies(m.G, v, lits) {
-				cands = append(cands, v)
-			}
-		}
-		return cands
+		return m.selectCandidates(label, lits)
 	}
 	key := candKey(label, lits)
 	if cached, ok := m.Cache.lookup(key); ok {
@@ -242,21 +245,102 @@ func (m *Matcher) filteredCandidates(label string, lits []query.BoundLiteral) []
 		copy(out, cached)
 		return out
 	}
-	base := m.G.NodesByLabel(label)
-	cands := make([]graph.NodeID, 0, len(base))
-	for _, v := range base {
-		if nodeSatisfies(m.G, v, lits) {
-			cands = append(cands, v)
-		}
-	}
+	cands := m.selectCandidates(label, lits)
 	stored := make([]graph.NodeID, len(cands))
 	copy(stored, cands)
 	m.Cache.store(key, stored)
 	return cands
 }
 
-// nodeSatisfies checks all bound literals of a template node against v.
-func nodeSatisfies(g *graph.Graph, v graph.NodeID, lits []query.BoundLiteral) bool {
+// indexScanCutoff is the inverse fraction of the label's population above
+// which the narrowest index range stops paying: gathering k index entries
+// costs k column reads plus a k·log k NodeID re-sort, so for wide ranges a
+// straight scan (already in NodeID order) wins. BENCH.md records the
+// measured crossover backing this constant: the index is ahead below ~10%
+// selectivity and behind above ~25%, so ranges wider than a quarter of the
+// label fall back to the scan.
+const indexScanCutoff = 4
+
+// selectCandidates picks the access path for one (label, literals) pair:
+// the most selective sorted-index range when one is narrow enough, the
+// linear label scan otherwise. Both paths return the identical list in
+// ascending NodeID order.
+func (m *Matcher) selectCandidates(label string, lits []query.CompiledLiteral) []graph.NodeID {
+	base := m.G.NodesByLabel(label)
+	if !m.DisableAttrIndex && len(lits) > 0 && len(base) > 0 {
+		if cands, ok := m.indexCandidates(base, label, lits); ok {
+			m.Stats.IndexSelections++
+			return cands
+		}
+	}
+	m.Stats.ScanSelections++
+	cands := make([]graph.NodeID, 0, len(base))
+	for _, v := range base {
+		if nodeSatisfies(m.G, v, lits) {
+			cands = append(cands, v)
+		}
+	}
+	return cands
+}
+
+// indexCandidates resolves the literal set through the sorted attribute
+// indexes: every literal's satisfying subrange is binary-searched, the
+// narrowest range drives the gather, and the remaining literals verify
+// against the columns. ok is false when no range is selective enough and
+// the caller should fall back to the scan.
+func (m *Matcher) indexCandidates(base []graph.NodeID, label string, lits []query.CompiledLiteral) ([]graph.NodeID, bool) {
+	labelID := m.G.LookupLabel(label)
+	best := -1
+	var bestIx graph.SortedIndex
+	bestLo, bestHi := 0, 0
+	for i, l := range lits {
+		ix := m.G.SortedIndex(labelID, l.ID)
+		if !ix.Valid() {
+			// The attribute never occurs on this label: every candidate
+			// reads Null, so the literal is uniform — either it rejects
+			// everything (provably empty result) or it filters nothing.
+			// The empty slice (not nil) matches the scan path's result.
+			if !l.Op.Apply(graph.Null, l.Value) {
+				return []graph.NodeID{}, true
+			}
+			continue
+		}
+		lo, hi := ix.Range(l.Op, l.Value)
+		if best < 0 || hi-lo < bestHi-bestLo {
+			best, bestIx, bestLo, bestHi = i, ix, lo, hi
+		}
+	}
+	if best < 0 {
+		// Every literal is uniformly true for this label.
+		out := make([]graph.NodeID, len(base))
+		copy(out, base)
+		return out, true
+	}
+	if (bestHi-bestLo)*indexScanCutoff > len(base) {
+		return nil, false
+	}
+	out := make([]graph.NodeID, 0, bestHi-bestLo)
+	for i := bestLo; i < bestHi; i++ {
+		v := bestIx.At(i)
+		ok := true
+		for j, l := range lits {
+			if j != best && !l.Matches(m.G, v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	// The permutation is in value order; restore the ascending NodeID
+	// order every other path produces.
+	sortIDs(out)
+	return out, true
+}
+
+// nodeSatisfies checks all compiled literals of a template node against v.
+func nodeSatisfies(g *graph.Graph, v graph.NodeID, lits []query.CompiledLiteral) bool {
 	for _, l := range lits {
 		if !l.Matches(g, v) {
 			return false

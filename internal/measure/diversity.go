@@ -68,17 +68,22 @@ func TupleDistance(g *graph.Graph, attrs []string) DistanceFunc {
 			spans[i] = 1
 		}
 	}
-	names := append([]string(nil), attrs...)
+	// Resolve names to interned AttrIDs once: the closure runs per node
+	// pair and reads columns directly instead of string-keyed lookups.
+	ids := make([]graph.AttrID, len(attrs))
+	for i, a := range attrs {
+		ids[i] = g.AttrIDOf(a)
+	}
 	return func(v, w graph.NodeID) float64 {
-		if len(names) == 0 {
+		if len(ids) == 0 {
 			return 0
 		}
 		total := 0.0
-		for i, a := range names {
-			av, bv := g.Attr(v, a), g.Attr(w, a)
+		for i, id := range ids {
+			av, bv := g.AttrValue(v, id), g.AttrValue(w, id)
 			total += attrDistance(av, bv, spans[i])
 		}
-		return total / float64(len(names))
+		return total / float64(len(ids))
 	}
 }
 

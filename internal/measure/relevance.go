@@ -41,10 +41,16 @@ func ProfileRelevance(g *graph.Graph, profile map[string]graph.Value) RelevanceF
 			spans[a] = 1
 		}
 	}
+	// Resolve attribute names to interned IDs once; the closure runs per
+	// scored node.
+	ids := make([]graph.AttrID, len(attrs))
+	for i, a := range attrs {
+		ids[i] = g.AttrIDOf(a)
+	}
 	return func(v graph.NodeID) float64 {
 		total := 0.0
-		for _, a := range attrs {
-			total += attrDistance(g.Attr(v, a), profile[a], spans[a])
+		for i, a := range attrs {
+			total += attrDistance(g.AttrValue(v, ids[i]), profile[a], spans[a])
 		}
 		return 1 - total/float64(len(attrs))
 	}

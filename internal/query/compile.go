@@ -1,0 +1,63 @@
+package query
+
+import (
+	"fairsqg/internal/graph"
+
+	"sync/atomic"
+)
+
+// CompiledLiteral is a BoundLiteral resolved against one graph's attribute
+// dictionary: the attribute name is interned to an AttrID once, so Matches
+// is a direct column read instead of a string-keyed map lookup per node.
+type CompiledLiteral struct {
+	// Attr is the attribute name (kept for cache keys and display).
+	Attr string
+	// ID is the graph's interned attribute, or graph.InvalidAttr when the
+	// attribute never occurs in G (every node then reads Null).
+	ID graph.AttrID
+	// Op and Value are the comparison as in BoundLiteral.
+	Op    graph.Op
+	Value graph.Value
+}
+
+// Matches reports whether graph node v satisfies the literal. g must be
+// the graph the literal was compiled against.
+func (c CompiledLiteral) Matches(g *graph.Graph, v graph.NodeID) bool {
+	return c.Op.Apply(g.AttrValue(v, c.ID), c.Value)
+}
+
+// CompileLiterals resolves a bound-literal list against g's dictionary.
+func CompileLiterals(g *graph.Graph, lits []BoundLiteral) []CompiledLiteral {
+	out := make([]CompiledLiteral, len(lits))
+	for i, l := range lits {
+		out[i] = CompiledLiteral{Attr: l.Attr, ID: g.AttrIDOf(l.Attr), Op: l.Op, Value: l.Value}
+	}
+	return out
+}
+
+// compiledSet caches one instance's literals compiled against one graph.
+type compiledSet struct {
+	g      *graph.Graph
+	byNode [][]CompiledLiteral // indexed by template node
+}
+
+// CompiledLiterals returns the bound literals of template node ni resolved
+// against g's attribute dictionary. The compilation covers every template
+// node and is performed once per (instance, graph) — repeat evaluations,
+// including concurrent ones, share the cached form. Evaluating the same
+// instance against a different graph recompiles (last graph wins the
+// cache slot; correctness never depends on a hit).
+func (q *Instance) CompiledLiterals(g *graph.Graph, ni int) []CompiledLiteral {
+	if cs := q.compiled.Load(); cs != nil && cs.g == g {
+		return cs.byNode[ni]
+	}
+	cs := &compiledSet{g: g, byNode: make([][]CompiledLiteral, len(q.T.Nodes))}
+	for n := range q.T.Nodes {
+		cs.byNode[n] = CompileLiterals(g, q.BoundLiterals(n))
+	}
+	q.compiled.Store(cs)
+	return cs.byNode[ni]
+}
+
+// compiledPtr is the cache slot type embedded in Instance.
+type compiledPtr = atomic.Pointer[compiledSet]

@@ -48,6 +48,10 @@ type Instance struct {
 	activeEdges []int // indices of present edges, restricted to u_o's component
 	activeNodes []int // template nodes in u_o's component
 	key         string
+	// compiled caches the bound literals resolved against one graph's
+	// attribute dictionary (see CompiledLiterals); it never affects the
+	// instance's logical identity.
+	compiled compiledPtr
 }
 
 // NewInstance materializes an instance: it resolves edge presence, keeps

@@ -268,11 +268,27 @@ func (t *Template) BindDomains(g *graph.Graph, opts DomainOptions) error {
 }
 
 // labelRestrictedDomain computes the sorted distinct values of attr over the
-// nodes with the given label.
+// nodes with the given label. When the graph carries a sorted index for the
+// (label, attr) pair the values are read off it pre-sorted; otherwise a scan
+// and sort does the same work.
 func labelRestrictedDomain(g *graph.Graph, label, attr string) []graph.Value {
+	aid := g.AttrIDOf(attr)
+	if ix := g.SortedIndex(g.LookupLabel(label), aid); ix.Valid() {
+		var out []graph.Value
+		for i := 0; i < ix.Len(); i++ {
+			v := ix.ValueAt(i)
+			if v.IsNull() {
+				continue // absent attributes sort first in the permutation
+			}
+			if len(out) == 0 || !v.Equal(out[len(out)-1]) {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
 	var vals []graph.Value
 	for _, v := range g.NodesByLabel(label) {
-		if a := g.Attr(v, attr); !a.IsNull() {
+		if a := g.AttrValue(v, aid); !a.IsNull() {
 			vals = append(vals, a)
 		}
 	}

@@ -78,9 +78,10 @@ func (t *Template) AddVar(name, attr string, op graph.Op) *Template {
 func (t *Template) BindDomains(g *graph.Graph, maxValues int) error {
 	for vi := range t.Vars {
 		v := &t.Vars[vi]
+		aid := g.AttrIDOf(v.Attr)
 		var vals []graph.Value
 		for _, node := range g.NodesByLabel(t.SourceLabel) {
-			if a := g.Attr(node, v.Attr); !a.IsNull() {
+			if a := g.AttrValue(node, aid); !a.IsNull() {
 				vals = append(vals, a)
 			}
 		}
@@ -248,6 +249,10 @@ func (t *Template) Bound(in Instantiation) int { return t.Bounds[in[t.arity()-1]
 
 // Sources returns the source nodes satisfying the bound literals.
 func (t *Template) Sources(g *graph.Graph, in Instantiation) []graph.NodeID {
+	ids := make([]graph.AttrID, len(t.Vars))
+	for vi := range t.Vars {
+		ids[vi] = g.AttrIDOf(t.Vars[vi].Attr)
+	}
 	var out []graph.NodeID
 	for _, v := range g.NodesByLabel(t.SourceLabel) {
 		ok := true
@@ -256,7 +261,7 @@ func (t *Template) Sources(g *graph.Graph, in Instantiation) []graph.NodeID {
 			if level == Wildcard {
 				continue
 			}
-			if !t.Vars[vi].Op.Apply(g.Attr(v, t.Vars[vi].Attr), t.Vars[vi].Ladder[level]) {
+			if !t.Vars[vi].Op.Apply(g.AttrValue(v, ids[vi]), t.Vars[vi].Ladder[level]) {
 				ok = false
 				break
 			}

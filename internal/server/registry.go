@@ -38,6 +38,9 @@ type GraphInfo struct {
 	Edges    int       `json:"edges"`
 	Refs     int       `json:"refs"`
 	LoadedAt time.Time `json:"loadedAt"`
+	// Memory reports the frozen graph's columnar-storage and sorted-index
+	// footprint, fixed at freeze time.
+	Memory graph.MemoryStats `json:"memory"`
 	// Engine reports the shared engine's cumulative counters, including
 	// the candidate cache — the numbers /metrics scrapes per graph.
 	Engine match.EngineStats `json:"engine"`
@@ -51,6 +54,9 @@ type Registry struct {
 	graphs  map[string]*graphEntry
 	workers int
 	cache   int
+	// disableAttrIndex propagates the ablation knob to every per-graph
+	// engine created by Put.
+	disableAttrIndex bool
 }
 
 // NewRegistry returns an empty registry. workers is the per-graph engine
@@ -72,8 +78,9 @@ func (r *Registry) Put(name string, g *graph.Graph) error {
 		name: name,
 		g:    g,
 		engine: match.NewEngine(g, match.EngineOptions{
-			Workers:       r.workers,
-			CandCacheSize: r.cache,
+			Workers:          r.workers,
+			CandCacheSize:    r.cache,
+			DisableAttrIndex: r.disableAttrIndex,
 		}),
 		loadedAt: time.Now(),
 	}
@@ -205,6 +212,7 @@ func infoOf(e *graphEntry) GraphInfo {
 		Edges:    e.g.NumEdges(),
 		Refs:     e.refs,
 		LoadedAt: e.loadedAt,
+		Memory:   e.g.Memory(),
 		Engine:   e.engine.Stats(),
 	}
 }

@@ -22,6 +22,10 @@ type Options struct {
 	// < 0 disabled).
 	MatchWorkers  int
 	CandCacheSize int
+	// DisableAttrIndex forces every graph engine onto the linear-scan
+	// candidate-selection path instead of the sorted attribute indexes
+	// (ablation; results are identical).
+	DisableAttrIndex bool
 	// MaxUploadBytes bounds graph upload bodies (default 64 MiB).
 	MaxUploadBytes int64
 	// RequireGraph makes /readyz fail until a graph is registered.
@@ -52,6 +56,7 @@ func New(opts Options) *Server {
 		reg:  NewRegistry(opts.MatchWorkers, opts.CandCacheSize),
 		met:  newMetrics(),
 	}
+	s.reg.disableAttrIndex = opts.DisableAttrIndex
 	s.jobs = NewManager(s.reg, s.met, opts.Jobs)
 	s.logger = opts.Logger
 	s.handler = s.routes()
@@ -85,24 +90,36 @@ func (s *Server) MetricsSnapshot() map[string]any {
 	}
 	graphs := map[string]any{}
 	var cacheHits, cacheMisses int64
+	var indexSel, scanSel int64
+	var indexBytes, columnBytes int64
 	for _, info := range s.reg.List() {
 		graphs[info.Name] = info
 		cacheHits += info.Engine.Cache.Hits
 		cacheMisses += info.Engine.Cache.Misses
+		indexSel += info.Engine.IndexSelections
+		scanSel += info.Engine.ScanSelections
+		indexBytes += info.Memory.IndexBytes
+		columnBytes += info.Memory.ColumnBytes
 	}
 	return map[string]any{
 		"jobs": map[string]any{
-			"submitted": s.met.jobsSubmitted.Value(),
-			"shed":      s.met.jobsShed.Value(),
-			"done":      s.met.jobsDone.Value(),
-			"failed":    s.met.jobsFailed.Value(),
-			"cancelled": s.met.jobsCancelled.Value(),
-			"states":    states,
+			"submitted":  s.met.jobsSubmitted.Value(),
+			"shed":       s.met.jobsShed.Value(),
+			"done":       s.met.jobsDone.Value(),
+			"failed":     s.met.jobsFailed.Value(),
+			"cancelled":  s.met.jobsCancelled.Value(),
+			"states":     states,
 			"queueDepth": queueDepth,
 		},
 		"cache": map[string]any{
 			"hits":   cacheHits,
 			"misses": cacheMisses,
+		},
+		"storage": map[string]any{
+			"indexSelections": indexSel,
+			"scanSelections":  scanSel,
+			"indexBytes":      indexBytes,
+			"columnBytes":     columnBytes,
 		},
 		"http": map[string]any{
 			"requests": s.met.httpRequests.Value(),
