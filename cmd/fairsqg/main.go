@@ -46,11 +46,13 @@ func main() {
 
 	alg := flag.String("alg", "bi", "algorithm: bi, rf, par, enum, kungs, cbm or online")
 	eps := flag.Float64("eps", 0.05, "ε-dominance tolerance")
-	maxPairs := flag.Int("max-pairs", 20000, "pairwise diversity sample cap")
+	lambda := flag.Float64("lambda", 0.5, "relevance/dissimilarity balance λ in [0,1] (0 = pure relevance)")
+	maxPairs := flag.Int("max-pairs", 20000, "pairwise diversity sample cap (<0 = exact, no cap)")
 	distAttrs := flag.String("dist-attrs", "", "comma-separated attributes for the diversity distance")
 	matchWorkers := flag.Int("match-workers", 0, "per-instance match fan-out: 0/1 sequential, >1 concurrent engine, <0 GOMAXPROCS")
 	candCache := flag.Int("cand-cache", 0, "candidate cache entries: 0 default, <0 disabled")
 	noAttrIndex := flag.Bool("no-attr-index", false, "disable sorted attribute indexes for candidate selection (linear-scan ablation)")
+	noIncScore := flag.Bool("no-inc-score", false, "disable incremental subset-delta diversity scoring (ablation; results identical)")
 
 	k := flag.Int("k", 10, "online: result size to maintain")
 	w := flag.Int("w", 40, "online: sliding-window size")
@@ -117,8 +119,9 @@ func main() {
 
 	cfg := &fairsqg.Config{
 		G: g, Template: tpl, Groups: set, Eps: *eps, MaxPairs: *maxPairs,
+		Lambda: *lambda, LambdaSet: true,
 		MatchWorkers: *matchWorkers, CandCacheSize: *candCache,
-		DisableAttrIndex: *noAttrIndex,
+		DisableAttrIndex: *noAttrIndex, DisableIncScore: *noIncScore,
 	}
 	if *distAttrs != "" {
 		cfg.DistanceAttrs = strings.Split(*distAttrs, ",")
@@ -173,6 +176,10 @@ func main() {
 	if cs := res.Stats.Cache; cs.Hits+cs.Misses > 0 {
 		fmt.Fprintf(os.Stderr, "cand-cache: %d hits / %d misses (%d evictions, %d entries)\n",
 			cs.Hits, cs.Misses, cs.Evictions, cs.Entries)
+	}
+	if ds := res.Stats.DistCache; ds.Evals > 0 {
+		fmt.Fprintf(os.Stderr, "dist-cache: %d evals, %d hits / %d misses (%d entries); %d incremental scores\n",
+			ds.Evals, ds.Hits, ds.Misses, ds.Entries, res.Stats.IncScores)
 	}
 	printSet(g, res.Set, *verbose)
 	if *save != "" {

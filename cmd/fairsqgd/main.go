@@ -66,6 +66,7 @@ func run(args []string, errw *os.File) int {
 		matchWorkers = fs.Int("match-workers", 0, "per-graph match engine fan-out (0 = GOMAXPROCS)")
 		candCache    = fs.Int("cand-cache", 0, "per-graph candidate cache entries (0 default, <0 disable)")
 		noAttrIndex  = fs.Bool("no-attr-index", false, "disable sorted attribute indexes for candidate selection (linear-scan ablation)")
+		noIncScore   = fs.Bool("no-inc-score", false, "disable incremental subset-delta diversity scoring (ablation; results identical)")
 		maxUpload    = fs.Int64("max-upload", 64<<20, "largest accepted graph upload in bytes")
 		drainFor     = fs.Duration("drain", 30*time.Second, "how long shutdown waits for running jobs")
 		graphs       graphFlags
@@ -91,6 +92,7 @@ func run(args []string, errw *os.File) int {
 		MatchWorkers:     *matchWorkers,
 		CandCacheSize:    *candCache,
 		DisableAttrIndex: *noAttrIndex,
+		DisableIncScore:  *noIncScore,
 		MaxUploadBytes:   *maxUpload,
 		RequireGraph:     false,
 		Logger:           logger,

@@ -81,6 +81,22 @@
 //     frozen graph's column and index footprint is available from
 //     Graph.Memory (GraphMemoryStats).
 //
+// Diversity scoring is incremental: attribute distance functions compile
+// into per-graph feature tables, pair distances are memoized in a cache
+// scoped by distance fingerprint (shared across jobs when an engine is
+// injected), and instances refined from a scored parent are re-scored by
+// subtracting the removed matches' contributions rather than recomputing
+// the O(n²) pair loop. Pair sums accumulate in fixed point, so scores
+// are bit-identical to the exact recompute in every setting:
+//
+//   - Config.DisableIncScore: ablation switch back to from-scratch
+//     scoring. Delta-path uses are counted in Stats.IncScores, pair-cache
+//     traffic in Stats.DistCache.
+//   - Config.MaxPairs: pair-sampling threshold for very large answer
+//     sets; 0 picks a default cap, negative forces exact scoring.
+//   - Config.Lambda / Config.LambdaSet: the relevance/distance mix;
+//     LambdaSet lets an explicit 0 override the 0.5 default.
+//
 // NewMatchEngine exposes the engine directly for callers that evaluate
 // instances outside a Generator; it is safe for concurrent use and honors
 // context cancellation.

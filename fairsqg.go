@@ -73,6 +73,9 @@ type (
 	MatchEngineStats = match.EngineStats
 	// CacheStats reports candidate-cache hit/miss/eviction counters.
 	CacheStats = match.CacheStats
+	// PairCacheStats reports pair-distance cache eval/hit/miss counters
+	// (Stats.DistCache and MatchEngineStats.Dist).
+	PairCacheStats = measure.PairCacheStats
 
 	// InstanceStream feeds OnlineQGen.
 	InstanceStream = core.InstanceStream

@@ -69,6 +69,41 @@ func BenchmarkBiQGen(b *testing.B) {
 	}
 }
 
+// BenchmarkIncScore measures the end-to-end effect of the incremental
+// diversity scorer on whole generation runs with exact (uncapped) pairwise
+// scoring, where the pair loop is the dominant per-verification cost.
+func BenchmarkIncScore(b *testing.B) {
+	for _, alg := range []string{"enum", "bi"} {
+		for _, disable := range []bool{false, true} {
+			name := alg + "/inc"
+			if disable {
+				name = alg + "/noinc"
+			}
+			b.Run(name, func(b *testing.B) {
+				cfg := benchConfig(b)
+				cfg.MaxPairs = -1
+				cfg.DisableIncScore = disable
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := NewRunner(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					switch alg {
+					case "enum":
+						_, err = r.EnumQGen()
+					case "bi":
+						_, err = r.BiQGen()
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkOnlineQGen(b *testing.B) {
 	cfg := benchConfig(b)
 	b.ResetTimer()

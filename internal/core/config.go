@@ -18,6 +18,10 @@ import (
 	"fairsqg/internal/query"
 )
 
+// DefaultMaxPairs is the pairwise-evaluation cap selected when
+// Config.MaxPairs is zero; pass a negative MaxPairs for exact scoring.
+const DefaultMaxPairs = 200000
+
 // Config is the query-generation configuration C = (G, Q(u_o), P, ε)
 // together with the evaluation knobs shared by all algorithms.
 type Config struct {
@@ -51,17 +55,26 @@ type Config struct {
 	// pruning lemmas keep holding. The candidate-bound infeasibility
 	// check is disabled in this mode.
 	ExtraOutputs []string
-	// Lambda balances relevance against dissimilarity in δ (default 0.5).
+	// Lambda balances relevance against dissimilarity in δ. The zero value
+	// selects the default 0.5; set LambdaSet to request λ = 0 (the
+	// pure-relevance objective) explicitly.
 	Lambda float64
+	// LambdaSet marks Lambda as explicitly chosen, distinguishing a
+	// requested λ = 0 from an unset field.
+	LambdaSet bool
 	// Relevance overrides the default degree-based relevance r(u_o, ·).
 	Relevance measure.RelevanceFunc
-	// Distance overrides the default tuple edit distance d(·,·).
+	// Distance overrides the default tuple edit distance d(·,·). The
+	// function must be pure and symmetric: distances are memoized in a
+	// pair cache and reused by the incremental scorer.
 	Distance measure.DistanceFunc
 	// DistanceAttrs restricts the default tuple distance to these
 	// attributes (nil means all attributes of G).
 	DistanceAttrs []string
-	// MaxPairs caps pairwise distance evaluations per instance (default
-	// 200000; 0 means exact).
+	// MaxPairs caps pairwise distance evaluations per instance: 0 selects
+	// the default cap (DefaultMaxPairs), a negative value requests exact
+	// scoring with no cap, and a positive value caps evaluations at that
+	// many sampled pairs.
 	MaxPairs int
 	// MaxBacktrackNodes bounds matcher search per candidate (0 unbounded).
 	MaxBacktrackNodes int
@@ -96,6 +109,13 @@ type Config struct {
 	// built at graph freeze (ablation). Results are identical in both
 	// settings; only the access path changes.
 	DisableAttrIndex bool
+	// DisableIncScore forces every diversity evaluation to run from
+	// scratch instead of deriving a child's score from its verified
+	// parent's (the subset-delta path exploiting Lemma 2). Results are
+	// bit-identical in both settings — both paths accumulate the same
+	// fixed-point pair units — so this is an ablation knob, mirroring
+	// DisableAttrIndex.
+	DisableIncScore bool
 
 	// OnVerified, when set, is invoked after every instance verification —
 	// the hook behind the anytime-quality experiments (Fig. 9(e), 11(b)).
@@ -183,11 +203,18 @@ type Stats struct {
 	Pruned int
 	// SandwichPairs counts sandwich bounds recorded (BiQGen only).
 	SandwichPairs int
+	// IncScores counts diversity evaluations served by the subset-delta
+	// incremental path instead of a from-scratch pair loop.
+	IncScores int
 	// Matcher carries the matcher's counters (sequential and engine work
 	// combined).
 	Matcher match.Stats
 	// Cache reports candidate-cache effectiveness; zero when disabled.
 	Cache match.CacheStats
+	// DistCache reports pair-distance cache effectiveness. With an
+	// external Config.Engine the counters are the engine's cumulative ones
+	// (like Cache), since the cache outlives the run by design.
+	DistCache measure.PairCacheStats
 }
 
 // Verified is an evaluated instance: its answer and quality coordinates.
@@ -201,6 +228,11 @@ type Verified struct {
 	// PerNode holds each output node's match set in multi-output mode
 	// (keyed by template node index); nil otherwise.
 	PerNode map[int][]graph.NodeID
+	// score carries the diversity scorer's reusable state (relevance sum,
+	// fixed-point pair sum and per-node contribution sums S(v)); children
+	// whose matches subset this instance's re-score from the difference.
+	// nil when the instance was sampled or infeasible.
+	score *measure.ScoreState
 }
 
 // Result is the outcome of a generation run.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
 	"fairsqg/internal/match"
 	"fairsqg/internal/measure"
 	"fairsqg/internal/pareto"
@@ -29,11 +30,26 @@ type Runner struct {
 	// engine share one candidate cache so either path warms the other.
 	engine *match.Engine
 	div    *measure.Diversity
-	cache  map[string]*Verified
-	stats  Stats
-	verSeq int
+	// pairCache memoizes pairwise diversity distances. It is the engine's
+	// shared cache when one exists and the default tuple distance is in
+	// use (so jobs on one graph reuse each other's distances), and a
+	// run-private cache otherwise.
+	pairCache *measure.PairCache
+	// counter answers per-group count queries over answers in O(|answer|)
+	// via a dense node→group array; built once per Runner.
+	counter *groups.Counter
+	cache   map[string]*Verified
+	stats   Stats
+	verSeq  int
 	// extraNodes are the resolved multi-output template node indices.
 	extraNodes []int
+	// population is |V_uo| (summed over distinct output labels in
+	// multi-output mode); kept with the resolved scoring functions so the
+	// evaluator can be rebound to a fresh pair cache on reset.
+	population int
+	scoreRel   measure.RelevanceFunc
+	scoreDist  measure.DistanceFunc
+	scoreFP    string
 }
 
 // NewRunner validates the configuration and prepares shared state.
@@ -70,38 +86,77 @@ func NewRunner(cfg *Config) (*Runner, error) {
 			population += cfg.G.CountLabel(l)
 		}
 	}
-	rel := cfg.Relevance
-	if rel == nil {
-		rel = measure.DegreeRelevance(cfg.G, outLabel)
-	}
-	dist := cfg.Distance
-	if dist == nil {
-		dist = measure.TupleDistance(cfg.G, cfg.DistanceAttrs)
-	}
-	maxPairs := cfg.MaxPairs
-	if maxPairs == 0 {
-		maxPairs = 200000
-	}
-	lambda := cfg.Lambda
-	if lambda == 0 {
-		lambda = 0.5
-	}
-	div := &measure.Diversity{
-		Lambda:          lambda,
-		Relevance:       rel,
-		Distance:        dist,
-		LabelPopulation: population,
-		MaxPairs:        maxPairs,
-	}
-	return &Runner{
+	r := &Runner{
 		cfg:        cfg,
 		ctx:        ctx,
 		matcher:    m,
 		engine:     engine,
-		div:        div,
+		counter:    groups.NewCounter(cfg.G.NumNodes(), cfg.Groups),
 		cache:      make(map[string]*Verified),
 		extraNodes: extraNodes,
-	}, nil
+		population: population,
+	}
+	r.initScoring()
+	return r, nil
+}
+
+// initScoring resolves the scoring functions once per Runner: the
+// relevance function and the base distance — feature-compiled from the
+// columnar storage when the default tuple distance is in use — then binds
+// them to a pair cache via bindScoring.
+func (r *Runner) initScoring() {
+	cfg := r.cfg
+	outLabel := cfg.Template.Nodes[cfg.Template.Output].Label
+	r.scoreRel = cfg.Relevance
+	if r.scoreRel == nil {
+		r.scoreRel = measure.DegreeRelevance(cfg.G, outLabel)
+	}
+	if cfg.Distance != nil {
+		r.scoreDist = cfg.Distance
+		// Custom functions are opaque: their fingerprint cannot prove two
+		// jobs compute the same distance, so never share them through an
+		// engine-owned cache.
+		r.scoreFP = "custom"
+	} else {
+		feats := measure.NewDistanceFeatures(cfg.G, cfg.DistanceAttrs)
+		r.scoreDist = feats.Func()
+		r.scoreFP = feats.Fingerprint()
+	}
+	r.bindScoring()
+}
+
+// bindScoring (re)builds the Diversity evaluator over the current pair
+// cache: the engine's shared cache when one exists and the default tuple
+// distance is in use, a fresh run-private cache otherwise. Zero-valued
+// knobs select documented defaults through explicit sentinels: MaxPairs <
+// 0 means exact (no sampling cap) and LambdaSet marks λ = 0 as a
+// deliberate pure-relevance request — the previous code silently rewrote
+// both zeros.
+func (r *Runner) bindScoring() {
+	cfg := r.cfg
+	if r.engine != nil && r.engine.DistCache() != nil && cfg.Distance == nil {
+		r.pairCache = r.engine.DistCache()
+	} else {
+		r.pairCache = measure.NewPairCache(0)
+	}
+	maxPairs := cfg.MaxPairs
+	switch {
+	case maxPairs < 0:
+		maxPairs = 0 // exact: Diversity treats 0 as "no sampling cap"
+	case maxPairs == 0:
+		maxPairs = DefaultMaxPairs
+	}
+	lambda := 0.5
+	if cfg.Lambda != 0 || cfg.LambdaSet {
+		lambda = cfg.Lambda
+	}
+	r.div = &measure.Diversity{
+		Lambda:          lambda,
+		Relevance:       r.scoreRel,
+		Distance:        r.pairCache.Scope(r.scoreFP).Wrap(r.scoreDist),
+		LabelPopulation: r.population,
+		MaxPairs:        maxPairs,
+	}
 }
 
 // newConfigEngine builds the concurrent match engine a configuration asks
@@ -131,6 +186,11 @@ func newConfigEngine(cfg *Config) *match.Engine {
 func (r *Runner) adoptEngine(parent *Runner) {
 	r.engine = parent.engine
 	r.matcher.Cache = parent.matcher.Cache
+	// Share the scorer too: the Diversity evaluator is read-only and its
+	// wrapped distance (features + pair cache) is goroutine-safe, so slab
+	// workers memoize pairwise distances into one shared cache.
+	r.div = parent.div
+	r.pairCache = parent.pairCache
 }
 
 // Config returns the runner's configuration.
@@ -158,6 +218,9 @@ func (r *Runner) Stats() Stats {
 	} else if r.matcher.Cache != nil {
 		s.Cache = r.matcher.Cache.Stats()
 	}
+	if r.pairCache != nil {
+		s.DistCache = r.pairCache.Stats()
+	}
 	return s
 }
 
@@ -182,6 +245,13 @@ func (r *Runner) resetStats() {
 	} else if r.matcher.Cache != nil {
 		r.matcher.Cache.Reset()
 	}
+	if r.cfg.Engine == nil {
+		// Rebind the scorer so per-run pair-cache counters start cold (the
+		// rebuilt engine carries a fresh distance cache; a private cache is
+		// simply replaced). An external engine keeps its warm cache — the
+		// point of injecting one.
+		r.bindScoring()
+	}
 }
 
 // err reports the run context's cancellation state; algorithms poll it
@@ -199,8 +269,13 @@ func (r *Runner) verify(q *query.Instance, parent *Verified) *Verified {
 		return v
 	}
 	var v *Verified
+	// counts holds the answer's per-group tally, computed once per
+	// verification: feasibility and coverage both derive from it (the
+	// slice is the counter's reusable buffer — read before any Counts
+	// call, which the paths below never make after filling it).
+	var counts []int
 	if len(r.extraNodes) > 0 {
-		v = r.verifyMultiOutput(q, parent)
+		v, counts = r.verifyMultiOutput(q, parent)
 	} else {
 		var within []graph.NodeID
 		if parent != nil && !r.cfg.DisableIncremental {
@@ -213,7 +288,7 @@ func (r *Runner) verify(q *query.Instance, parent *Verified) *Verified {
 		var accept func([]graph.NodeID) bool
 		if !r.cfg.DisableBoundPrune {
 			accept = func(cands []graph.NodeID) bool {
-				return measure.Feasible(r.cfg.Groups, cands)
+				return measure.FeasibleCounts(r.cfg.Groups, r.counter.Counts(cands))
 			}
 		}
 		var matches []graph.NodeID
@@ -224,7 +299,8 @@ func (r *Runner) verify(q *query.Instance, parent *Verified) *Verified {
 			matches, ok = r.matcher.EvalOutputFiltered(q, within, accept)
 		}
 		v = &Verified{Q: q, Matches: matches}
-		v.Feasible = ok && measure.Feasible(r.cfg.Groups, matches)
+		counts = r.counter.Counts(matches)
+		v.Feasible = ok && measure.FeasibleCounts(r.cfg.Groups, counts)
 	}
 	if r.ctx.Err() != nil {
 		// The evaluation was cut short: its result is partial. Don't cache
@@ -234,8 +310,8 @@ func (r *Runner) verify(q *query.Instance, parent *Verified) *Verified {
 	}
 	if v.Feasible {
 		v.Point = pareto.Point{
-			Div: r.div.Eval(v.Matches),
-			Cov: measure.Coverage(r.cfg.Groups, v.Matches),
+			Div: r.scoreDiversity(v, parent),
+			Cov: measure.CoverageCounts(r.cfg.Groups, counts),
 		}
 	}
 	r.cache[q.Key()] = v
@@ -254,6 +330,26 @@ func (r *Runner) verify(q *query.Instance, parent *Verified) *Verified {
 		})
 	}
 	return v
+}
+
+// scoreDiversity evaluates δ for a feasible instance. When the parent was
+// exactly scored and the child's matches subset it (Lemma 2: refinement
+// only shrinks match sets), the subset-delta path derives the child's pair
+// sum from the parent's per-node contribution sums instead of re-running
+// the O(n²) pair loop; both paths accumulate identical fixed-point units,
+// so scores are bit-equal regardless of DisableIncScore. The resulting
+// scorer state rides along in Verified for the instance's own children.
+func (r *Runner) scoreDiversity(v *Verified, parent *Verified) float64 {
+	if !r.cfg.DisableIncScore && parent != nil && parent.score != nil {
+		if div, st, ok := r.div.EvalDelta(parent.score, v.Matches); ok {
+			r.stats.IncScores++
+			v.score = st
+			return div
+		}
+	}
+	div, st := r.div.EvalState(v.Matches)
+	v.score = st
+	return div
 }
 
 // verified reports whether the instance key has been evaluated already.
@@ -281,8 +377,9 @@ func collectSet(a *pareto.Archive[*Verified]) []*Verified {
 // every node's matches, Lemma 2's argument applies per node), and the
 // objectives are taken over the sorted union. The candidate-bound pruning
 // is not applied: a single node's candidate shortfall cannot prove the
-// union infeasible.
-func (r *Runner) verifyMultiOutput(q *query.Instance, parent *Verified) *Verified {
+// union infeasible. The returned counts are the union's per-group tally,
+// for the caller's coverage computation.
+func (r *Runner) verifyMultiOutput(q *query.Instance, parent *Verified) (*Verified, []int) {
 	nodes := append([]int{q.T.Output}, r.extraNodes...)
 	v := &Verified{Q: q, PerNode: make(map[int][]graph.NodeID, len(nodes))}
 	unionSet := make(map[graph.NodeID]bool)
@@ -313,6 +410,7 @@ func (r *Runner) verifyMultiOutput(q *query.Instance, parent *Verified) *Verifie
 		v.Matches = append(v.Matches, m)
 	}
 	sort.Slice(v.Matches, func(i, j int) bool { return v.Matches[i] < v.Matches[j] })
-	v.Feasible = measure.Feasible(r.cfg.Groups, v.Matches)
-	return v
+	counts := r.counter.Counts(v.Matches)
+	v.Feasible = measure.FeasibleCounts(r.cfg.Groups, counts)
+	return v, counts
 }

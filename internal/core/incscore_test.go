@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"fairsqg/internal/match"
+)
+
+// TestIncScoreDifferential is the lattice-wide bit-compatibility check for
+// the subset-delta diversity scorer: every algorithm, with and without the
+// concurrent match engine, must produce exactly the same point sets whether
+// the incremental path is on or off — the fixed-point accumulation makes
+// the two scoring paths bit-identical, so samePointSets compares with ==.
+func TestIncScoreDifferential(t *testing.T) {
+	g := fixtureGraph(t, 21)
+	algorithms := []struct {
+		name string
+		run  func(r *Runner) (*Result, error)
+	}{
+		{"enum", func(r *Runner) (*Result, error) { return r.EnumQGen() }},
+		{"rf", func(r *Runner) (*Result, error) { return r.RfQGen() }},
+		{"bi", func(r *Runner) (*Result, error) { return r.BiQGen() }},
+		{"par", func(r *Runner) (*Result, error) { return r.ParQGen(2) }},
+	}
+	for _, workers := range []int{0, 2} {
+		for _, alg := range algorithms {
+			mk := func(disable bool) *Result {
+				cfg := fixtureConfig(t, g, 0.3, 3)
+				cfg.MatchWorkers = workers
+				cfg.MaxPairs = -1 // exact scoring end to end
+				cfg.DisableIncScore = disable
+				res, err := alg.run(newRunnerT(t, cfg))
+				if err != nil {
+					t.Fatalf("%s workers=%d disable=%v: %v", alg.name, workers, disable, err)
+				}
+				return res
+			}
+			inc, noInc := mk(false), mk(true)
+			if !samePointSets(inc.Points(), noInc.Points()) {
+				t.Errorf("%s workers=%d: incremental scoring changed results:\n%v\nvs\n%v",
+					alg.name, workers, inc.Points(), noInc.Points())
+			}
+			if alg.name != "enum" && inc.Stats.IncScores == 0 {
+				t.Errorf("%s workers=%d: refinement run took no incremental scores", alg.name, workers)
+			}
+			if noInc.Stats.IncScores != 0 {
+				t.Errorf("%s workers=%d: ablated run counted %d incremental scores",
+					alg.name, workers, noInc.Stats.IncScores)
+			}
+		}
+	}
+}
+
+// TestIncScoreDifferentialMultiOutput extends the differential to the
+// multiple-output-nodes mode, where the scored set is a union of per-node
+// match sets (still refinement-monotone, so the delta path applies).
+func TestIncScoreDifferentialMultiOutput(t *testing.T) {
+	mk := func(disable bool) *Result {
+		cfg := multiOutputConfig(t, 22)
+		cfg.MaxPairs = -1
+		cfg.DisableIncScore = disable
+		res, err := newRunnerT(t, cfg).RfQGen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	inc, noInc := mk(false), mk(true)
+	if !samePointSets(inc.Points(), noInc.Points()) {
+		t.Errorf("multi-output incremental scoring changed results:\n%v\nvs\n%v",
+			inc.Points(), noInc.Points())
+	}
+	if inc.Stats.IncScores == 0 {
+		t.Error("multi-output run took no incremental scores")
+	}
+}
+
+// TestIncScoreSampledBoundary: with a tiny MaxPairs every large set is
+// sampled (nil scorer state), so the delta path must quietly stand down
+// without changing any score.
+func TestIncScoreSampledBoundary(t *testing.T) {
+	g := fixtureGraph(t, 23)
+	mk := func(disable bool) *Result {
+		cfg := fixtureConfig(t, g, 0.3, 3)
+		cfg.MaxPairs = 25
+		cfg.DisableIncScore = disable
+		res, err := newRunnerT(t, cfg).RfQGen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	inc, noInc := mk(false), mk(true)
+	if !samePointSets(inc.Points(), noInc.Points()) {
+		t.Errorf("sampled-boundary runs diverged:\n%v\nvs\n%v", inc.Points(), noInc.Points())
+	}
+}
+
+// TestLambdaSentinels: λ = 0 must be requestable (LambdaSet) while the
+// plain zero value keeps selecting the documented default 0.5.
+func TestLambdaSentinels(t *testing.T) {
+	g := fixtureGraph(t, 24)
+	lam := func(cfg *Config) float64 { return newRunnerT(t, cfg).div.Lambda }
+
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	if got := lam(cfg); got != 0.5 {
+		t.Errorf("unset Lambda → λ = %v, want default 0.5", got)
+	}
+	cfg = fixtureConfig(t, g, 0.3, 3)
+	cfg.Lambda, cfg.LambdaSet = 0, true
+	if got := lam(cfg); got != 0 {
+		t.Errorf("explicit λ = 0 rewritten to %v", got)
+	}
+	cfg = fixtureConfig(t, g, 0.3, 3)
+	cfg.Lambda = 0.3
+	if got := lam(cfg); got != 0.3 {
+		t.Errorf("λ = 0.3 became %v", got)
+	}
+
+	// λ = 0 must actually drop the pairwise term: every feasible point's
+	// diversity is then the pure relevance sum, which the root maximizes.
+	cfg = fixtureConfig(t, g, 0.3, 3)
+	cfg.Lambda, cfg.LambdaSet = 0, true
+	r := newRunnerT(t, cfg)
+	all, err := r.AllFeasible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("no feasible instances in fixture")
+	}
+	for _, v := range all {
+		rel := 0.0
+		for _, m := range v.Matches {
+			rel += r.scoreRel(m)
+		}
+		if diff := v.Point.Div - rel; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("λ=0 diversity %v != relevance sum %v", v.Point.Div, rel)
+		}
+	}
+}
+
+// TestMaxPairsSentinels: 0 selects the default cap, negative requests
+// exact scoring, positive passes through.
+func TestMaxPairsSentinels(t *testing.T) {
+	g := fixtureGraph(t, 25)
+	mp := func(v int) int {
+		cfg := fixtureConfig(t, g, 0.3, 3)
+		cfg.MaxPairs = v
+		return newRunnerT(t, cfg).div.MaxPairs
+	}
+	if got := mp(0); got != DefaultMaxPairs {
+		t.Errorf("MaxPairs 0 → %d, want default %d", got, DefaultMaxPairs)
+	}
+	if got := mp(-1); got != 0 {
+		t.Errorf("MaxPairs -1 → %d, want 0 (exact)", got)
+	}
+	if got := mp(7); got != 7 {
+		t.Errorf("MaxPairs 7 → %d", got)
+	}
+}
+
+// TestEngineSharedDistCache: two runs over one external engine must share
+// the pair-distance cache — the second run's distances are warm.
+func TestEngineSharedDistCache(t *testing.T) {
+	g := fixtureGraph(t, 26)
+	engine := match.NewEngine(g, match.EngineOptions{Workers: 2})
+	run := func() Stats {
+		cfg := fixtureConfig(t, g, 0.3, 3)
+		cfg.Engine = engine
+		cfg.MaxPairs = -1
+		res, err := newRunnerT(t, cfg).RfQGen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	first := run()
+	if first.DistCache.Evals == 0 {
+		t.Fatal("first run evaluated no distances")
+	}
+	second := run()
+	if second.DistCache.Hits <= first.DistCache.Hits {
+		t.Errorf("second run gained no cache hits (first %+v, second %+v)",
+			first.DistCache, second.DistCache)
+	}
+	if second.DistCache.Misses != first.DistCache.Misses {
+		t.Errorf("second run missed on already-cached pairs: first %d, second %d misses",
+			first.DistCache.Misses, second.DistCache.Misses)
+	}
+	if es := engine.Stats(); es.Dist != second.DistCache {
+		t.Errorf("engine stats %+v diverge from run stats %+v", es.Dist, second.DistCache)
+	}
+}
+
+// TestPerRunDistCacheCounters: without an external engine the pair-cache
+// counters are per run — a second invocation on one Runner starts cold.
+func TestPerRunDistCacheCounters(t *testing.T) {
+	g := fixtureGraph(t, 27)
+	cfg := fixtureConfig(t, g, 0.3, 3)
+	cfg.MaxPairs = -1
+	r := newRunnerT(t, cfg)
+	a, err := r.RfQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RfQGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.DistCache.Evals == 0 || b.Stats.DistCache.Evals == 0 {
+		t.Fatalf("runs reported no distance evals: %+v, %+v", a.Stats.DistCache, b.Stats.DistCache)
+	}
+	if b.Stats.DistCache.Evals > a.Stats.DistCache.Evals {
+		t.Errorf("second run evaluated more than the first from cold: %+v vs %+v",
+			a.Stats.DistCache, b.Stats.DistCache)
+	}
+	if !samePointSets(a.Points(), b.Points()) {
+		t.Error("repeated runs diverged")
+	}
+}

@@ -93,6 +93,7 @@ func (r *Runner) ParQGen(workers int) (*Result, error) {
 			total.Verified += local.stats.Verified
 			total.Feasible += local.stats.Feasible
 			total.Pruned += local.stats.Pruned
+			total.IncScores += local.stats.IncScores
 			total.Matcher.Evals += local.matcher.Stats.Evals
 			total.Matcher.CandidatesChecked += local.matcher.Stats.CandidatesChecked
 			total.Matcher.BacktrackNodes += local.matcher.Stats.BacktrackNodes
@@ -118,6 +119,11 @@ func (r *Runner) ParQGen(workers int) (*Result, error) {
 		total.Cache = es.Cache
 	} else if r.matcher.Cache != nil {
 		total.Cache = r.matcher.Cache.Stats()
+	}
+	if r.pairCache != nil {
+		// Workers share the parent's pair cache through adoptEngine, so one
+		// snapshot covers every slab's distance evaluations.
+		total.DistCache = r.pairCache.Stats()
 	}
 	mu.Lock()
 	set := collectSet(archive)

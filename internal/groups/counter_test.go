@@ -1,0 +1,74 @@
+package groups
+
+import (
+	"math/rand"
+	"testing"
+
+	"fairsqg/internal/graph"
+)
+
+// TestCounterMatchesSetCount: the dense-array Counter must agree with the
+// map-probing Set.Count on random answers, including nodes outside every
+// group and repeated IDs.
+func TestCounterMatchesSetCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const numNodes = 200
+	set := Set{
+		{Name: "a", Members: map[graph.NodeID]bool{}, Want: 1},
+		{Name: "b", Members: map[graph.NodeID]bool{}, Want: 1},
+		{Name: "c", Members: map[graph.NodeID]bool{}, Want: 1},
+	}
+	for v := graph.NodeID(0); v < numNodes; v++ {
+		switch rng.Intn(4) {
+		case 0:
+			set[0].Members[v] = true
+		case 1:
+			set[1].Members[v] = true
+		case 2:
+			set[2].Members[v] = true
+		default: // no group
+		}
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounter(numNodes, set)
+	for trial := 0; trial < 50; trial++ {
+		var answer []graph.NodeID
+		for k := rng.Intn(60); k > 0; k-- {
+			answer = append(answer, graph.NodeID(rng.Intn(numNodes)))
+		}
+		want := set.Count(answer)
+		got := c.Counts(answer)
+		for i := range set {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d group %d: Counter %d, Set.Count %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCounterOutOfRangeIDs(t *testing.T) {
+	set := Set{{Name: "a", Members: map[graph.NodeID]bool{0: true, 500: true}, Want: 1}}
+	c := NewCounter(10, set) // member 500 is outside the graph
+	got := c.Counts([]graph.NodeID{0, 500, 9})
+	if got[0] != 1 {
+		t.Errorf("counts = %v, want [1]: in-range member counted once, ID 500 ignored", got)
+	}
+}
+
+func TestCounterBufferReuse(t *testing.T) {
+	set := Set{{Name: "a", Members: map[graph.NodeID]bool{1: true, 2: true}, Want: 1}}
+	c := NewCounter(4, set)
+	first := c.Counts([]graph.NodeID{1, 2})
+	if first[0] != 2 {
+		t.Fatalf("counts = %v", first)
+	}
+	second := c.Counts(nil)
+	if &first[0] != &second[0] {
+		t.Error("Counts allocated a new buffer; the contract is reuse")
+	}
+	if second[0] != 0 {
+		t.Error("buffer not zeroed between calls")
+	}
+}

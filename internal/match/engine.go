@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"fairsqg/internal/graph"
+	"fairsqg/internal/measure"
 	"fairsqg/internal/query"
 )
 
@@ -25,6 +26,12 @@ type EngineOptions struct {
 	// DisableAttrIndex forces pooled matchers onto the linear-scan
 	// reference path for candidate selection (see Matcher.DisableAttrIndex).
 	DisableAttrIndex bool
+	// DistCacheSize bounds the shared pair-distance cache that memoizes
+	// diversity distances d(v,w) across the jobs evaluating on this engine:
+	// 0 selects the default size (measure.DefaultPairCacheSize entries), a
+	// negative value disables the cache. Results are identical in all
+	// settings.
+	DistCacheSize int
 }
 
 // EngineStats aggregates the work done through an Engine.
@@ -42,6 +49,8 @@ type EngineStats struct {
 	ScanSelections  int64
 	// Cache reports candidate-cache effectiveness; zero when disabled.
 	Cache CacheStats
+	// Dist reports pair-distance cache effectiveness; zero when disabled.
+	Dist measure.PairCacheStats
 }
 
 // Engine is a concurrent match engine over one frozen graph: it owns a
@@ -60,6 +69,7 @@ type Engine struct {
 	maxBacktrackNodes int
 	workers           int
 	cache             *CandidateCache
+	dist              *measure.PairCache
 	disableAttrIndex  bool
 	pool              sync.Pool
 
@@ -84,12 +94,17 @@ func NewEngine(g *graph.Graph, opts EngineOptions) *Engine {
 	if opts.CandCacheSize >= 0 {
 		cache = NewCandidateCache(opts.CandCacheSize)
 	}
+	var dist *measure.PairCache
+	if opts.DistCacheSize >= 0 {
+		dist = measure.NewPairCache(opts.DistCacheSize)
+	}
 	e := &Engine{
 		g:                 g,
 		mode:              opts.Mode,
 		maxBacktrackNodes: opts.MaxBacktrackNodes,
 		workers:           workers,
 		cache:             cache,
+		dist:              dist,
 		disableAttrIndex:  opts.DisableAttrIndex,
 	}
 	e.pool.New = func() any {
@@ -114,6 +129,13 @@ func (e *Engine) Workers() int { return e.workers }
 // Matchers (Matcher.Cache) so they share filter results with the engine.
 func (e *Engine) Cache() *CandidateCache { return e.cache }
 
+// DistCache returns the shared pair-distance cache, or nil when disabled.
+// The cache is goroutine-safe; runners evaluating diversity on this
+// engine's graph memoize their pairwise distances here, so a long-lived
+// engine keeps the distances warm across jobs the way the candidate cache
+// keeps the filter scans warm.
+func (e *Engine) DistCache() *measure.PairCache { return e.dist }
+
 // Stats returns a snapshot of the engine's aggregated counters. Work done
 // by matchers currently mid-evaluation is included only once they finish.
 func (e *Engine) Stats() EngineStats {
@@ -127,6 +149,9 @@ func (e *Engine) Stats() EngineStats {
 	}
 	if e.cache != nil {
 		s.Cache = e.cache.Stats()
+	}
+	if e.dist != nil {
+		s.Dist = e.dist.Stats()
 	}
 	return s
 }

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"fmt"
 	"testing"
 
 	"fairsqg/internal/graph"
@@ -47,6 +48,53 @@ func BenchmarkDiversityExact(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		div.Eval(ids)
+	}
+}
+
+// BenchmarkDiversity sweeps re-scoring a refined (subset) match set across
+// set sizes and overlap fractions: "exact" recomputes the child's pair loop
+// from scratch (the pre-incremental behaviour), "delta" derives it from the
+// parent's state through EvalDelta. Both paths produce bit-identical
+// scores; the sweep measures the speedup the subset-delta path buys.
+func BenchmarkDiversity(b *testing.B) {
+	for _, n := range []int{300, 1000, 3000} {
+		g, ids := benchGraph(b, n)
+		div := &Diversity{
+			Lambda:          0.5,
+			Relevance:       ConstantRelevance(1),
+			Distance:        TupleDistance(g, []string{"major", "exp"}),
+			LabelPopulation: n,
+		}
+		for _, overlapPct := range []int{90, 70} {
+			// Child keeps overlapPct% of the parent: drop every k-th node.
+			drop := 100 / (100 - overlapPct)
+			var child []graph.NodeID
+			for i, v := range ids {
+				if i%drop == 0 {
+					continue
+				}
+				child = append(child, v)
+			}
+			_, parent := div.EvalState(ids)
+			parent.contribution(div) // steady state: contributions materialized
+			name := func(kind string) string {
+				return fmt.Sprintf("%s/n=%d/overlap=%d", kind, n, overlapPct)
+			}
+			b.Run(name("exact"), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, st := div.EvalState(child); st == nil {
+						b.Fatal("sampled")
+					}
+				}
+			})
+			b.Run(name("delta"), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, ok := div.EvalDelta(parent, child); !ok {
+						b.Fatal("delta rejected")
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -12,8 +12,14 @@ import (
 // clamped at 0, so f ∈ [0, C]. Larger is better: f = C means the answer
 // covers every group with exactly the desired cardinality.
 func Coverage(set groups.Set, answer []graph.NodeID) float64 {
+	return CoverageCounts(set, set.Count(answer))
+}
+
+// CoverageCounts is Coverage over already-computed per-group counts (from
+// Set.Count or a groups.Counter), letting a caller that needs both the
+// feasibility verdict and the coverage value count the answer once.
+func CoverageCounts(set groups.Set, counts []int) float64 {
 	c := set.TotalWant()
-	counts := set.Count(answer)
 	penalty := 0
 	for i := range set {
 		d := counts[i] - set[i].Want
@@ -32,7 +38,11 @@ func Coverage(set groups.Set, answer []graph.NodeID) float64 {
 // Feasible reports whether the answer satisfies every coverage constraint:
 // |q(G) ∩ P_i| ≥ c_i for all i (Section III-A).
 func Feasible(set groups.Set, answer []graph.NodeID) bool {
-	counts := set.Count(answer)
+	return FeasibleCounts(set, set.Count(answer))
+}
+
+// FeasibleCounts is Feasible over already-computed per-group counts.
+func FeasibleCounts(set groups.Set, counts []int) bool {
 	for i := range set {
 		if counts[i] < set[i].Want {
 			return false

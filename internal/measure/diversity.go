@@ -2,6 +2,7 @@ package measure
 
 import (
 	"math"
+	"math/bits"
 
 	"fairsqg/internal/graph"
 )
@@ -44,49 +45,12 @@ func DegreeRelevance(g *graph.Graph, label string) RelevanceFunc {
 // attribute's active-domain span. Missing values count as maximally
 // distant from present ones and identical to each other.
 func TupleDistance(g *graph.Graph, attrs []string) DistanceFunc {
-	if len(attrs) == 0 {
-		attrs = g.AttrNames()
-	}
-	spans := make([]float64, len(attrs))
-	for i, a := range attrs {
-		dom := g.ActiveDomain(a)
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for _, v := range dom {
-			if v.Kind() == graph.KindNumber {
-				f := v.Float()
-				if f < lo {
-					lo = f
-				}
-				if f > hi {
-					hi = f
-				}
-			}
-		}
-		if hi > lo {
-			spans[i] = hi - lo
-		} else {
-			spans[i] = 1
-		}
-	}
-	// Resolve names to interned AttrIDs once: the closure runs per node
-	// pair and reads columns directly instead of string-keyed lookups.
-	ids := make([]graph.AttrID, len(attrs))
-	for i, a := range attrs {
-		ids[i] = g.AttrIDOf(a)
-	}
-	return func(v, w graph.NodeID) float64 {
-		if len(ids) == 0 {
-			return 0
-		}
-		total := 0.0
-		for i, id := range ids {
-			av, bv := g.AttrValue(v, id), g.AttrValue(w, id)
-			total += attrDistance(av, bv, spans[i])
-		}
-		return total / float64(len(ids))
-	}
+	return NewDistanceFeatures(g, attrs).Func()
 }
 
+// attrDistance is the reference per-attribute distance the feature rows
+// compile down to; it is retained as the oracle for the differential test
+// pinning DistanceFeatures to the straightforward AttrValue evaluation.
 func attrDistance(a, b graph.Value, span float64) float64 {
 	switch {
 	case a.IsNull() && b.IsNull():
@@ -159,7 +123,10 @@ func (d *Diversity) Eval(matches []graph.NodeID) float64 {
 
 // samplePairs estimates the pairwise sum from MaxPairs deterministically
 // chosen pairs (splitmix64 stream seeded by the set size) scaled to the
-// full pair count. Determinism keeps benchmark runs reproducible.
+// full pair count. Determinism keeps benchmark runs reproducible. Indexes
+// are drawn with Lemire's multiply-shift rejection, so every index is
+// exactly uniform — the earlier next()%n draw was biased toward small
+// indexes whenever n did not divide 2⁶⁴.
 func (d *Diversity) samplePairs(matches []graph.NodeID, numPairs int) float64 {
 	n := len(matches)
 	state := uint64(n)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
@@ -172,14 +139,30 @@ func (d *Diversity) samplePairs(matches []graph.NodeID, numPairs int) float64 {
 	}
 	sum := 0.0
 	for k := 0; k < d.MaxPairs; k++ {
-		i := int(next() % uint64(n))
-		j := int(next() % uint64(n-1))
+		i := int(boundedUint(next, uint64(n)))
+		j := int(boundedUint(next, uint64(n-1)))
 		if j >= i {
 			j++
 		}
 		sum += d.Distance(matches[i], matches[j])
 	}
 	return sum / float64(d.MaxPairs) * float64(numPairs)
+}
+
+// boundedUint maps draws from next onto [0, n) without modulo bias using
+// Lemire's multiply-shift reduction: the high 64 bits of draw·n are
+// uniform once draws landing in the short first interval (low bits below
+// 2⁶⁴ mod n) are rejected. The rejection loop consumes a deterministic
+// number of extra draws for a given stream, preserving reproducibility.
+func boundedUint(next func() uint64, n uint64) uint64 {
+	hi, lo := bits.Mul64(next(), n)
+	if lo < n {
+		threshold := -n % n
+		for lo < threshold {
+			hi, lo = bits.Mul64(next(), n)
+		}
+	}
+	return hi
 }
 
 // MaxValue returns the upper bound of δ for this configuration, |V_{u_o}|,

@@ -3,29 +3,101 @@
 // functions, and the group-coverage penalty f(q, P).
 package measure
 
+import "sync"
+
+// levScratch holds the two DP rows Levenshtein needs, pooled so the hot
+// pairwise-distance loops don't allocate per call. Rune buffers are kept
+// alongside for the non-ASCII path.
+type levScratch struct {
+	prev, cur []int
+	ra, rb    []rune
+}
+
+var levPool = sync.Pool{New: func() any { return new(levScratch) }}
+
+// rows returns the two scratch rows with capacity for n+1 cells.
+func (s *levScratch) rows(n int) (prev, cur []int) {
+	if cap(s.prev) < n+1 {
+		s.prev = make([]int, n+1)
+		s.cur = make([]int, n+1)
+	}
+	return s.prev[:n+1], s.cur[:n+1]
+}
+
+// isASCII reports whether s contains only single-byte runes, in which case
+// the DP can run over raw bytes (same alignment, same distances).
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
 // Levenshtein returns the edit distance between a and b using a two-row
-// dynamic program.
+// dynamic program. Pure-ASCII inputs run over bytes; others decode to
+// runes. Both paths share pooled scratch rows, so repeated calls — the
+// pairwise diversity loops evaluate millions — do not allocate.
 func Levenshtein(a, b string) int {
 	if a == b {
 		return 0
 	}
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 {
-		return len(rb)
+	if len(a) == 0 {
+		return len([]rune(b))
 	}
-	if len(rb) == 0 {
-		return len(ra)
+	if len(b) == 0 {
+		return len([]rune(a))
 	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	s := levPool.Get().(*levScratch)
+	var dist int
+	if isASCII(a) && isASCII(b) {
+		dist = levBytes(s, a, b)
+	} else {
+		s.ra, s.rb = s.ra[:0], s.rb[:0]
+		for _, r := range a {
+			s.ra = append(s.ra, r)
+		}
+		for _, r := range b {
+			s.rb = append(s.rb, r)
+		}
+		dist = levRunes(s, s.ra, s.rb)
+	}
+	levPool.Put(s)
+	return dist
+}
+
+func levBytes(s *levScratch, a, b string) int {
+	prev, cur := s.rows(len(b))
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func levRunes(s *levScratch, ra, rb []rune) int {
+	prev, cur := s.rows(len(rb))
 	for j := range prev {
 		prev[j] = j
 	}
 	for i := 1; i <= len(ra); i++ {
 		cur[0] = i
+		ca := ra[i-1]
 		for j := 1; j <= len(rb); j++ {
 			cost := 1
-			if ra[i-1] == rb[j-1] {
+			if ca == rb[j-1] {
 				cost = 0
 			}
 			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)

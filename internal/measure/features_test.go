@@ -1,0 +1,123 @@
+package measure
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fairsqg/internal/graph"
+)
+
+// referenceTupleDistance is the pre-compilation evaluation: per-pair
+// AttrValue reads fed through the attrDistance oracle. DistanceFeatures
+// must reproduce it bit-for-bit.
+func referenceTupleDistance(g *graph.Graph, attrs []string) DistanceFunc {
+	spans := make([]float64, len(attrs))
+	ids := make([]graph.AttrID, len(attrs))
+	for i, a := range attrs {
+		spans[i] = domainSpan(g, a)
+		ids[i] = g.AttrIDOf(a)
+	}
+	return func(v, w graph.NodeID) float64 {
+		total := 0.0
+		for i := range attrs {
+			var av, wv graph.Value
+			if ids[i] != graph.InvalidAttr {
+				av = g.AttrValue(v, ids[i])
+				wv = g.AttrValue(w, ids[i])
+			}
+			total += attrDistance(av, wv, spans[i])
+		}
+		return total / float64(len(attrs))
+	}
+}
+
+// featGraph exercises every feature-column code path: a small string
+// domain (precomputed Levenshtein matrix), a large string domain (> 64
+// values, on-demand Levenshtein), numbers, bools, non-ASCII strings, and
+// missing values of each kind.
+func featGraph(t testing.TB, n int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	small := []string{"alpha", "beta", "gamma", "日本語", "delta"}
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		attrs := map[string]graph.Value{}
+		if rng.Float64() < 0.85 {
+			attrs["cat"] = graph.Str(small[rng.Intn(len(small))])
+		}
+		if rng.Float64() < 0.85 {
+			attrs["name"] = graph.Str(fmt.Sprintf("node-%03d-%c", rng.Intn(200), 'a'+rune(rng.Intn(26))))
+		}
+		if rng.Float64() < 0.85 {
+			attrs["score"] = graph.Num(rng.Float64() * 40)
+		}
+		if rng.Float64() < 0.85 {
+			attrs["active"] = graph.Bool(rng.Intn(2) == 0)
+		}
+		if rng.Float64() < 0.2 { // mixed-kind attribute: sometimes string, sometimes number
+			attrs["mixed"] = graph.Str("x")
+		} else if rng.Float64() < 0.5 {
+			attrs["mixed"] = graph.Int(int64(rng.Intn(3)))
+		}
+		g.AddNode("P", attrs)
+	}
+	g.Freeze()
+	return g
+}
+
+// TestDistanceFeaturesDifferential pins the compiled feature rows to the
+// reference AttrValue evaluation over every pair of a mixed graph.
+func TestDistanceFeaturesDifferential(t *testing.T) {
+	attrs := []string{"cat", "name", "score", "active", "mixed"}
+	for _, seed := range []int64{1, 2, 3} {
+		g := featGraph(t, 60, seed)
+		want := referenceTupleDistance(g, attrs)
+		feats := NewDistanceFeatures(g, attrs)
+		got := feats.Func()
+		n := graph.NodeID(int32(g.NumNodes()))
+		for v := graph.NodeID(0); v < n; v++ {
+			for w := graph.NodeID(0); w < n; w++ {
+				if gd, wd := got(v, w), want(v, w); gd != wd {
+					t.Fatalf("seed %d: d(%d,%d) = %v, reference %v", seed, v, w, gd, wd)
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceFeaturesLevMatrix(t *testing.T) {
+	g := featGraph(t, 60, 4)
+	feats := NewDistanceFeatures(g, []string{"cat", "name"})
+	// cat has ≤ 5 distinct values → matrix; name has ~dozens of long-tail
+	// values, likely > levMatrixCap → no matrix. Assert at least the small
+	// domain compiled one (the observable contract — identical distances —
+	// is covered by the differential test).
+	if feats.cols[0].mat == nil && len(feats.cols[0].strs) > 1 {
+		t.Error("small string domain did not precompile a Levenshtein matrix")
+	}
+	if len(feats.cols[1].strs) > levMatrixCap && feats.cols[1].mat != nil {
+		t.Error("large string domain precompiled a matrix past the cap")
+	}
+}
+
+func TestDistanceFeaturesUnknownAttr(t *testing.T) {
+	g := featGraph(t, 10, 5)
+	d := TupleDistance(g, []string{"no-such-attr"})
+	if got := d(0, 1); got != 0 {
+		t.Errorf("unknown attribute distance = %v, want 0 (all-null column)", got)
+	}
+}
+
+func TestDistanceFeaturesFingerprint(t *testing.T) {
+	g := featGraph(t, 10, 6)
+	a := NewDistanceFeatures(g, []string{"cat", "score"})
+	b := NewDistanceFeatures(g, []string{"cat", "score"})
+	c := NewDistanceFeatures(g, []string{"score", "cat"})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("equal attribute lists produced different fingerprints")
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different attribute orders share a fingerprint")
+	}
+}

@@ -1,0 +1,94 @@
+package measure
+
+import (
+	"sync"
+	"testing"
+
+	"fairsqg/internal/graph"
+)
+
+func TestPairCacheMemoizes(t *testing.T) {
+	calls := 0
+	base := func(v, w graph.NodeID) float64 {
+		calls++
+		return float64(v+w) / 100
+	}
+	c := NewPairCache(0)
+	d := c.Scope("s").Wrap(base)
+
+	if d(1, 2) != d(2, 1) {
+		t.Error("orientation changed the value")
+	}
+	if calls != 1 {
+		t.Errorf("symmetric pair evaluated %d times, want 1", calls)
+	}
+	d(1, 2)
+	st := c.Stats()
+	if st.Evals != 1 || st.Misses != 1 || st.Hits != 2 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 eval/miss, 2 hits, 1 entry", st)
+	}
+
+	c.Reset()
+	if st := c.Stats(); st != (PairCacheStats{}) {
+		t.Errorf("Reset left %+v", st)
+	}
+	d(1, 2)
+	if calls != 2 {
+		t.Error("Reset did not drop the entry")
+	}
+}
+
+func TestPairCacheScopesAreIsolated(t *testing.T) {
+	c := NewPairCache(0)
+	d1 := c.Scope("a").Wrap(func(v, w graph.NodeID) float64 { return 0.25 })
+	d2 := c.Scope("b").Wrap(func(v, w graph.NodeID) float64 { return 0.75 })
+	if d1(3, 4) != 0.25 || d2(3, 4) != 0.75 {
+		t.Error("scopes shared an entry across fingerprints")
+	}
+	// Same fingerprint → shared entries.
+	d3 := c.Scope("a").Wrap(func(v, w graph.NodeID) float64 { return -1 })
+	if d3(3, 4) != 0.25 {
+		t.Error("equal fingerprints did not share the memoized value")
+	}
+}
+
+func TestPairCacheClearOnFull(t *testing.T) {
+	c := NewPairCache(2)
+	d := c.Scope("s").Wrap(func(v, w graph.NodeID) float64 { return float64(v) })
+	d(0, 1)
+	d(0, 2)
+	d(0, 3) // over capacity: everything is dropped, then this pair stored
+	st := c.Stats()
+	if st.Clears != 1 {
+		t.Errorf("clears = %d, want 1", st.Clears)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries after clear = %d, want 1", st.Entries)
+	}
+}
+
+// TestPairCacheConcurrent drives one scope from many goroutines; the race
+// detector validates the locking, the assertions validate coherence.
+func TestPairCacheConcurrent(t *testing.T) {
+	c := NewPairCache(0)
+	d := c.Scope("s").Wrap(func(v, w graph.NodeID) float64 { return float64(v*31+w) / 1e6 })
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for v := graph.NodeID(0); v < 40; v++ {
+				for w := v + 1; w < 40; w++ {
+					if got, want := d(v, w), float64(v*31+w)/1e6; got != want {
+						t.Errorf("d(%d,%d) = %v, want %v", v, w, got, want)
+						return
+					}
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries != 40*39/2 {
+		t.Errorf("entries = %d, want %d", st.Entries, 40*39/2)
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// distCacheMetrics scrapes the aggregate pair-distance cache counters off
+// /metrics.
+func distCacheMetrics(t *testing.T, baseURL string) (evals, hits int64) {
+	t.Helper()
+	var doc struct {
+		DistCache struct {
+			Evals int64 `json:"evals"`
+			Hits  int64 `json:"hits"`
+		} `json:"distCache"`
+	}
+	doJSON(t, http.MethodGet, baseURL+"/metrics", nil, http.StatusOK, &doc)
+	return doc.DistCache.Evals, doc.DistCache.Hits
+}
+
+// TestDistCacheSharedAcrossJobs: two identical jobs on one graph share the
+// engine-owned pair-distance cache — the second job's diversity scoring
+// runs warm, visible in its result stats and in /metrics.
+func TestDistCacheSharedAcrossJobs(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	g := testGraph(t, 7)
+	uploadGraph(t, ts.URL, "talent", g)
+	spec := testSpec("talent")
+
+	st := submitJob(t, ts.URL, spec)
+	if f := pollDone(t, ts.URL, st.ID); f.State != JobDone {
+		t.Fatalf("first job state = %s (%s)", f.State, f.Error)
+	}
+	evals1, hits1 := distCacheMetrics(t, ts.URL)
+	if evals1 == 0 {
+		t.Fatal("first job evaluated no pairwise distances")
+	}
+
+	st2 := submitJob(t, ts.URL, spec)
+	if f := pollDone(t, ts.URL, st2.ID); f.State != JobDone {
+		t.Fatalf("second job state = %s (%s)", f.State, f.Error)
+	}
+	var res JobResult
+	doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+st2.ID+"/result", nil, http.StatusOK, &res)
+	if res.Stats.DistCache.Hits <= hits1 {
+		t.Errorf("second job reports %d cumulative dist-cache hits, want more than %d",
+			res.Stats.DistCache.Hits, hits1)
+	}
+	evals2, hits2 := distCacheMetrics(t, ts.URL)
+	if hits2 <= hits1 {
+		t.Errorf("dist-cache hits did not climb across identical jobs: %d -> %d", hits1, hits2)
+	}
+	if evals2 != evals1 {
+		t.Errorf("second identical job re-evaluated distances: %d -> %d evals", evals1, evals2)
+	}
+}
+
+// TestSpecLambdaPointer: an omitted lambda selects the default, an explicit
+// JSON 0 reaches the config as a deliberate pure-relevance request.
+func TestSpecLambdaPointer(t *testing.T) {
+	r := NewRegistry(1, 0)
+	if err := r.Put("talent", testGraph(t, 7)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Acquire("talent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+
+	spec := testSpec("talent")
+	cfg, err := buildConfig(&spec, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.LambdaSet {
+		t.Error("omitted lambda marked as set")
+	}
+
+	zero := 0.0
+	spec.Lambda = &zero
+	cfg, err = buildConfig(&spec, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.LambdaSet || cfg.Lambda != 0 {
+		t.Errorf("explicit lambda 0 lost: LambdaSet=%v Lambda=%v", cfg.LambdaSet, cfg.Lambda)
+	}
+
+	// A negative maxPairs passes through as the exact-scoring request.
+	spec.MaxPairs = -1
+	cfg, err = buildConfig(&spec, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxPairs != -1 {
+		t.Errorf("maxPairs -1 rewritten to %d", cfg.MaxPairs)
+	}
+}

@@ -128,6 +128,9 @@ type Manager struct {
 	opts ManagerOptions
 	reg  *Registry
 	met  *metrics
+	// disableIncScore propagates the server-level scoring ablation into
+	// every job's configuration (see Options.DisableIncScore).
+	disableIncScore bool
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -181,6 +184,7 @@ func (m *Manager) Submit(spec *JobSpec) (*Job, error) {
 		handle.Release()
 		return nil, err
 	}
+	cfg.DisableIncScore = m.disableIncScore
 	every := spec.ProgressEvery
 	if every == 0 {
 		every = 32

@@ -26,6 +26,10 @@ type Options struct {
 	// candidate-selection path instead of the sorted attribute indexes
 	// (ablation; results are identical).
 	DisableAttrIndex bool
+	// DisableIncScore forces every job's diversity evaluations onto the
+	// from-scratch pair loop instead of the subset-delta incremental path
+	// (ablation; results are bit-identical).
+	DisableIncScore bool
 	// MaxUploadBytes bounds graph upload bodies (default 64 MiB).
 	MaxUploadBytes int64
 	// RequireGraph makes /readyz fail until a graph is registered.
@@ -58,6 +62,7 @@ func New(opts Options) *Server {
 	}
 	s.reg.disableAttrIndex = opts.DisableAttrIndex
 	s.jobs = NewManager(s.reg, s.met, opts.Jobs)
+	s.jobs.disableIncScore = opts.DisableIncScore
 	s.logger = opts.Logger
 	s.handler = s.routes()
 	return s
@@ -90,12 +95,16 @@ func (s *Server) MetricsSnapshot() map[string]any {
 	}
 	graphs := map[string]any{}
 	var cacheHits, cacheMisses int64
+	var distEvals, distHits, distMisses int64
 	var indexSel, scanSel int64
 	var indexBytes, columnBytes int64
 	for _, info := range s.reg.List() {
 		graphs[info.Name] = info
 		cacheHits += info.Engine.Cache.Hits
 		cacheMisses += info.Engine.Cache.Misses
+		distEvals += info.Engine.Dist.Evals
+		distHits += info.Engine.Dist.Hits
+		distMisses += info.Engine.Dist.Misses
 		indexSel += info.Engine.IndexSelections
 		scanSel += info.Engine.ScanSelections
 		indexBytes += info.Memory.IndexBytes
@@ -114,6 +123,11 @@ func (s *Server) MetricsSnapshot() map[string]any {
 		"cache": map[string]any{
 			"hits":   cacheHits,
 			"misses": cacheMisses,
+		},
+		"distCache": map[string]any{
+			"evals":  distEvals,
+			"hits":   distHits,
+			"misses": distMisses,
 		},
 		"storage": map[string]any{
 			"indexSelections": indexSel,

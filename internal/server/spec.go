@@ -25,11 +25,13 @@ type JobSpec struct {
 	Groups GroupsSpec `json:"groups"`
 	// Eps is the ε-dominance tolerance (default 0.05).
 	Eps float64 `json:"eps,omitempty"`
-	// Lambda balances relevance against dissimilarity (default 0.5).
-	Lambda float64 `json:"lambda,omitempty"`
+	// Lambda balances relevance against dissimilarity (omitted selects the
+	// default 0.5; an explicit 0 requests the pure-relevance objective).
+	Lambda *float64 `json:"lambda,omitempty"`
 	// MaxDomain caps each bound value ladder (default 8).
 	MaxDomain int `json:"maxDomain,omitempty"`
-	// MaxPairs caps pairwise diversity evaluations (default 20000).
+	// MaxPairs caps pairwise diversity evaluations (default 20000; a
+	// negative value requests exact scoring with no cap).
 	MaxPairs int `json:"maxPairs,omitempty"`
 	// DistanceAttrs restricts the tuple distance to these attributes.
 	DistanceAttrs []string `json:"distanceAttrs,omitempty"`
@@ -131,12 +133,15 @@ func buildConfig(spec *JobSpec, h *Handle) (*core.Config, error) {
 		Template:      tpl,
 		Groups:        set,
 		Eps:           eps,
-		Lambda:        spec.Lambda,
 		MaxPairs:      maxPairs,
 		DistanceAttrs: spec.DistanceAttrs,
 		// The graph's shared engine: every job on this graph reuses one
-		// warm candidate cache and one matcher pool.
+		// warm candidate cache, one pair-distance cache and one matcher pool.
 		Engine: h.Engine(),
+	}
+	if spec.Lambda != nil {
+		cfg.Lambda = *spec.Lambda
+		cfg.LambdaSet = true
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
