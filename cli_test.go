@@ -177,6 +177,74 @@ func TestCLIErrorExitCodes(t *testing.T) {
 	wantExitError(t, "experiments stray args", experiments, "stray")
 }
 
+// TestSnapshotCLIRoundTrip drives the offline-conversion path end to
+// end: graphgen emits a binary snapshot, fairsqg converts a TSV graph
+// with -save-snapshot, and both artifacts load back (including through
+// fairsqg -graph x.fsnap, which must produce the same suggestions as the
+// TSV source).
+func TestSnapshotCLIRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+
+	graphgen := buildCLI(t, "graphgen")
+	genSnap := filepath.Join(dir, "gen.fsnap")
+	if out, err := exec.Command(graphgen, "-dataset", "lki", "-nodes", "500", "-seed", "3",
+		"-format", "snapshot", "-out", genSnap).CombinedOutput(); err != nil {
+		t.Fatalf("graphgen -format snapshot: %v\n%s", err, out)
+	}
+	f, err := os.Open(genSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadGraphSnapshot(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("reading graphgen snapshot: %v", err)
+	}
+	if g.NumNodes() < 400 || g.NumEdges() == 0 {
+		t.Errorf("snapshot graph too small: %s", SummarizeGraph(g))
+	}
+
+	// fairsqg conversion + warm load: TSV -> snapshot, then generate from
+	// both and compare the suggestion lines.
+	fairsqg := buildCLI(t, "fairsqg")
+	tsv := filepath.Join(dir, "g.tsv")
+	if out, err := exec.Command(graphgen, "-dataset", "lki", "-nodes", "1500", "-seed", "2",
+		"-out", tsv).CombinedOutput(); err != nil {
+		t.Fatalf("graphgen tsv: %v\n%s", err, out)
+	}
+	snap := filepath.Join(dir, "g.fsnap")
+	if out, err := exec.Command(fairsqg, "-graph", tsv, "-save-snapshot", snap).CombinedOutput(); err != nil {
+		t.Fatalf("fairsqg -save-snapshot: %v\n%s", err, out)
+	}
+	genArgs := func(graphFile string) []string {
+		return []string{"-graph", graphFile, "-canon", "talent", "-max-domain", "3",
+			"-cover", "3", "-alg", "bi", "-eps", "0.2"}
+	}
+	fromTSV, err := exec.Command(fairsqg, genArgs(tsv)...).Output()
+	if err != nil {
+		t.Fatalf("fairsqg from tsv: %v", err)
+	}
+	fromSnap, err := exec.Command(fairsqg, genArgs(snap)...).Output()
+	if err != nil {
+		t.Fatalf("fairsqg from snapshot: %v", err)
+	}
+	if string(fromTSV) != string(fromSnap) {
+		t.Errorf("snapshot-loaded run differs from TSV run:\n--- tsv\n%s--- snapshot\n%s", fromTSV, fromSnap)
+	}
+
+	// Corrupt snapshots fail loudly on every loading path.
+	bad := filepath.Join(dir, "bad.fsnap")
+	if err := os.WriteFile(bad, []byte("FSQGSNAPgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantExitError(t, "fairsqg corrupt snapshot", fairsqg, "-graph", bad)
+	wantExitError(t, "fairsqg unwritable -save-snapshot", fairsqg, "-dataset", "lki", "-nodes", "300",
+		"-save-snapshot", filepath.Join(dir, "no", "such", "dir", "g.fsnap"))
+}
+
 // TestFairsqgdCLI checks the daemon's flag and preload error paths; the
 // live-server path is covered by scripts/server_smoke.sh and the
 // internal/server e2e tests.
@@ -187,6 +255,11 @@ func TestFairsqgdCLI(t *testing.T) {
 	bin := buildCLI(t, "fairsqgd")
 	wantExitError(t, "fairsqgd malformed -graph", bin, "-graph", "noequalsign")
 	wantExitError(t, "fairsqgd missing graph file", bin, "-graph", "g="+filepath.Join(t.TempDir(), "nope.tsv"))
+	badSnap := filepath.Join(t.TempDir(), "bad.fsnap")
+	if err := os.WriteFile(badSnap, []byte("FSQGSNAPgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantExitError(t, "fairsqgd corrupt snapshot preload", bin, "-graph", "g="+badSnap)
 	wantExitError(t, "fairsqgd stray args", bin, "stray")
 	wantExitError(t, "fairsqgd bad -addr", bin, "-addr", "not-an-address")
 }

@@ -29,7 +29,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fairsqg: ")
 
-	graphFile := flag.String("graph", "", "graph file (.tsv or .json); empty = use -dataset")
+	graphFile := flag.String("graph", "", "graph file (.tsv, .json or .fsnap snapshot); empty = use -dataset")
 	dataset := flag.String("dataset", "lki", "synthetic dataset when no -graph: dbp, lki or cite")
 	nodes := flag.Int("nodes", 0, "synthetic dataset size (0 = default)")
 	seed := flag.Int64("seed", 1, "synthetic generation seed")
@@ -60,6 +60,7 @@ func main() {
 
 	verbose := flag.Bool("v", false, "print full query descriptions and answers")
 	save := flag.String("save", "", "write the generated workload as JSON to this file")
+	saveSnapshot := flag.String("save-snapshot", "", "write the loaded graph as a binary snapshot to this file and exit (offline conversion for warm loads)")
 	flag.Parse()
 
 	// Reject nonsense flag values up front: the generators and binders
@@ -88,6 +89,16 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "graph: %s\n", fairsqg.SummarizeGraph(g))
+
+	if *saveSnapshot != "" {
+		if err := saveTo(*saveSnapshot, func(w *os.File) error {
+			return fairsqg.WriteGraphSnapshot(w, g)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *saveSnapshot)
+		return
+	}
 
 	tpl, err := loadTemplate(*templateFile, *canon)
 	if err != nil {
@@ -213,8 +224,11 @@ func loadGraph(file, dataset string, nodes int, seed int64) (*fairsqg.Graph, err
 		return nil, err
 	}
 	defer f.Close()
-	if strings.HasSuffix(file, ".json") {
+	switch {
+	case strings.HasSuffix(file, ".json"):
 		return fairsqg.ReadGraphJSON(f)
+	case strings.HasSuffix(file, ".fsnap"):
+		return fairsqg.ReadGraphSnapshot(f)
 	}
 	return fairsqg.ReadGraphTSV(f)
 }

@@ -68,10 +68,11 @@ func run(args []string, errw *os.File) int {
 		noAttrIndex  = fs.Bool("no-attr-index", false, "disable sorted attribute indexes for candidate selection (linear-scan ablation)")
 		noIncScore   = fs.Bool("no-inc-score", false, "disable incremental subset-delta diversity scoring (ablation; results identical)")
 		maxUpload    = fs.Int64("max-upload", 64<<20, "largest accepted graph upload in bytes")
+		snapshotDir  = fs.String("snapshot-dir", "", "persist registered graphs as binary snapshots here and restore them on startup (warm restart)")
 		drainFor     = fs.Duration("drain", 30*time.Second, "how long shutdown waits for running jobs")
 		graphs       graphFlags
 	)
-	fs.Var(&graphs, "graph", "preload a graph as name=path (.json is JSON, else TSV; repeatable)")
+	fs.Var(&graphs, "graph", "preload a graph as name=path (.json is JSON, .fsnap a snapshot, else TSV; repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -94,12 +95,24 @@ func run(args []string, errw *os.File) int {
 		DisableAttrIndex: *noAttrIndex,
 		DisableIncScore:  *noIncScore,
 		MaxUploadBytes:   *maxUpload,
+		SnapshotDir:      *snapshotDir,
 		RequireGraph:     false,
 		Logger:           logger,
 	})
 	srv.PublishExpvar("fairsqgd")
 
+	// Graphs that came back warm from the snapshot directory don't need
+	// their source files re-parsed; a corrupt or missing snapshot falls
+	// through to the normal load below.
+	restored := make(map[string]bool)
+	for _, name := range srv.RestoredGraphs() {
+		restored[name] = true
+	}
 	for _, gf := range graphs {
+		if restored[gf.name] {
+			logger.Printf("graph %s restored from snapshot, skipping %s", gf.name, gf.path)
+			continue
+		}
 		if err := srv.Registry().LoadFile(gf.name, gf.path); err != nil {
 			fmt.Fprintf(errw, "fairsqgd: load graph %s: %v\n", gf.name, err)
 			return 1

@@ -1,9 +1,10 @@
 // Command graphgen generates the synthetic evaluation datasets (dbp, lki,
-// cite) and writes them in the TSV or JSON graph format.
+// cite) and writes them in the TSV, JSON or binary snapshot graph format.
 //
 // Usage:
 //
 //	graphgen -dataset lki -nodes 26000 -seed 1 -format tsv -out lki.tsv
+//	graphgen -dataset lki -format snapshot -out lki.fsnap   # for fairsqgd warm loads
 package main
 
 import (
@@ -22,7 +23,7 @@ func main() {
 	dataset := flag.String("dataset", "lki", "dataset to generate: dbp, lki or cite")
 	nodes := flag.Int("nodes", 0, "node budget (0 = dataset default)")
 	seed := flag.Int64("seed", 1, "generation seed")
-	format := flag.String("format", "tsv", "output format: tsv or json")
+	format := flag.String("format", "tsv", "output format: tsv, json or snapshot")
 	out := flag.String("out", "-", "output file (- = stdout)")
 	stats := flag.Bool("stats", false, "print dataset statistics to stderr")
 	flag.Parse()
@@ -61,8 +62,10 @@ func main() {
 		err = fairsqg.WriteGraphTSV(w, g)
 	case "json":
 		err = fairsqg.WriteGraphJSON(w, g)
+	case "snapshot":
+		err = fairsqg.WriteGraphSnapshot(w, g)
 	default:
-		log.Fatalf("unknown format %q (want tsv or json)", *format)
+		log.Fatalf("unknown format %q (want tsv, json or snapshot)", *format)
 	}
 	if err != nil {
 		log.Fatal(err)

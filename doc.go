@@ -101,6 +101,15 @@
 // instances outside a Generator; it is safe for concurrent use and honors
 // context cancellation.
 //
+// Frozen graphs serialize to versioned, CRC-checked binary snapshots
+// (WriteGraphSnapshot / ReadGraphSnapshot) that restore the columnar
+// layout and sorted indexes directly — loading a snapshot skips Freeze
+// entirely, which is how the fairsqgd server's -snapshot-dir warm restart
+// and the .fsnap files written by graphgen/fairsqg get large graphs back
+// into memory at I/O speed. Snapshots are a cache format: readers reject
+// other versions and corrupt files with descriptive errors, and TSV/JSON
+// remain the durable interchange formats.
+//
 // Synthetic datasets mirroring the paper's evaluation graphs and the full
 // experiment harness live in cmd/experiments; see DESIGN.md and
 // EXPERIMENTS.md.

@@ -128,6 +128,15 @@ func ReadGraphTSV(r io.Reader) (*Graph, error) { return graph.ReadTSV(r) }
 // WriteGraphTSV serializes a graph in the tab-separated form.
 func WriteGraphTSV(w io.Writer, g *Graph) error { return graph.WriteTSV(w, g) }
 
+// ReadGraphSnapshot loads a frozen graph from its binary snapshot form;
+// unlike the TSV/JSON readers it restores columns and indexes directly
+// without re-running Freeze.
+func ReadGraphSnapshot(r io.Reader) (*Graph, error) { return graph.ReadSnapshot(r) }
+
+// WriteGraphSnapshot serializes a frozen graph's exact in-memory layout
+// as a versioned, checksummed binary snapshot.
+func WriteGraphSnapshot(w io.Writer, g *Graph) error { return graph.WriteSnapshot(w, g) }
+
 // SummarizeGraph computes descriptive statistics of a frozen graph.
 func SummarizeGraph(g *Graph) GraphStats { return graph.Summarize(g) }
 

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"fairsqg/internal/gen"
+	"fairsqg/internal/graph"
+)
+
+// BenchmarkSnapshotLoad compares the two ways a server start can get a
+// frozen 100k-node graph into memory: decoding the binary snapshot
+// (frozen layout restored directly) versus parsing the TSV source and
+// re-running Freeze (column transposition + index builds). The snapshot
+// path is what fairsqgd's -snapshot-dir warm restart pays per graph.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	g, err := gen.Build("lki", gen.Options{Nodes: 100000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var snap, tsv bytes.Buffer
+	if err := graph.WriteSnapshot(&snap, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := graph.WriteTSV(&tsv, g); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("graph: %d nodes, %d edges; snapshot %d bytes, tsv %d bytes",
+		g.NumNodes(), g.NumEdges(), snap.Len(), tsv.Len())
+
+	b.Run("snapshot", func(b *testing.B) {
+		b.SetBytes(int64(snap.Len()))
+		for i := 0; i < b.N; i++ {
+			got, err := graph.ReadSnapshot(bytes.NewReader(snap.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.NumNodes() != g.NumNodes() {
+				b.Fatalf("decoded %d nodes, want %d", got.NumNodes(), g.NumNodes())
+			}
+		}
+	})
+	b.Run("parse+freeze", func(b *testing.B) {
+		b.SetBytes(int64(tsv.Len()))
+		for i := 0; i < b.N; i++ {
+			got, err := graph.ReadTSV(bytes.NewReader(tsv.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.NumNodes() != g.NumNodes() {
+				b.Fatalf("parsed %d nodes, want %d", got.NumNodes(), g.NumNodes())
+			}
+		}
+	})
+}

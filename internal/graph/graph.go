@@ -98,6 +98,36 @@ func (g *Graph) LookupLabel(s string) LabelID {
 // returns its ID. The attrs map is copied (keys interned in sorted order,
 // so AttrID assignment is deterministic); the caller keeps ownership and
 // may reuse or mutate it afterwards. AddNode panics on a frozen graph.
+// maxPreallocEntries caps how many entries a declared count (a TSV or
+// JSON header, or any other untrusted hint) may pre-allocate through
+// Grow. Graphs larger than the cap still load fine — append takes over —
+// but a forged multi-billion count can never turn into a multi-GB
+// up-front allocation.
+const maxPreallocEntries = 1 << 20
+
+// Grow pre-allocates capacity for about n more nodes, clamped to
+// maxPreallocEntries; a hint, never a limit. No-op on frozen graphs and
+// non-positive counts.
+func (g *Graph) Grow(n int) {
+	if g.frozen || n <= 0 {
+		return
+	}
+	if n > maxPreallocEntries {
+		n = maxPreallocEntries
+	}
+	if want := len(g.nodes) + n; want > cap(g.nodes) {
+		nodes := make([]nodeData, len(g.nodes), want)
+		copy(nodes, g.nodes)
+		g.nodes = nodes
+		out := make([][]Edge, len(g.out), want)
+		copy(out, g.out)
+		g.out = out
+		in := make([][]Edge, len(g.in), want)
+		copy(in, g.in)
+		g.in = in
+	}
+}
+
 func (g *Graph) AddNode(label string, attrs map[string]Value) NodeID {
 	g.mustMutable("AddNode")
 	id := NodeID(len(g.nodes))

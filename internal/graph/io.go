@@ -9,10 +9,18 @@ import (
 	"strings"
 )
 
-// jsonGraph is the on-disk JSON form of a graph.
+// jsonGraph is the on-disk JSON form of a graph. Counts is a load hint
+// (it lets the reader pre-allocate); readers treat it as untrusted and
+// clamp it, never as authoritative sizes.
 type jsonGraph struct {
-	Nodes []jsonNode `json:"nodes"`
-	Edges []jsonEdge `json:"edges"`
+	Counts *jsonCounts `json:"counts,omitempty"`
+	Nodes  []jsonNode  `json:"nodes"`
+	Edges  []jsonEdge  `json:"edges"`
+}
+
+type jsonCounts struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
 }
 
 type jsonNode struct {
@@ -29,7 +37,10 @@ type jsonEdge struct {
 
 // WriteJSON serializes g (frozen or not) as a single JSON document.
 func WriteJSON(w io.Writer, g *Graph) error {
-	doc := jsonGraph{Nodes: make([]jsonNode, g.NumNodes())}
+	doc := jsonGraph{
+		Counts: &jsonCounts{Nodes: g.NumNodes(), Edges: g.NumEdges()},
+		Nodes:  make([]jsonNode, g.NumNodes()),
+	}
 	for i := range g.nodes {
 		n := jsonNode{ID: i, Label: g.labels[g.nodes[i].label]}
 		if pairs := g.AttrPairs(NodeID(i)); len(pairs) > 0 {
@@ -57,6 +68,14 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: decoding JSON graph: %w", err)
 	}
 	g := New()
+	// The declared count is a pre-allocation hint only: Grow clamps it,
+	// so a forged header can't force an allocation the document's actual
+	// size doesn't justify.
+	if doc.Counts != nil {
+		g.Grow(doc.Counts.Nodes)
+	} else {
+		g.Grow(len(doc.Nodes))
+	}
 	for i, n := range doc.Nodes {
 		if n.ID != i {
 			return nil, fmt.Errorf("graph: node %d has id %d; ids must be dense and ordered", i, n.ID)
@@ -91,6 +110,9 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 // The format loads faster than JSON on large graphs and diffs cleanly.
 func WriteTSV(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
+	// A comment header with the counts: old readers skip it ('#' lines
+	// are comments), new ones use it as a clamped pre-allocation hint.
+	fmt.Fprintf(bw, "# fairsqg-graph nodes=%d edges=%d\n", g.NumNodes(), g.NumEdges())
 	for i := range g.nodes {
 		fmt.Fprintf(bw, "N\t%d\t%s", i, g.labels[g.nodes[i].label])
 		for _, p := range g.AttrPairs(NodeID(i)) {
@@ -116,6 +138,13 @@ func ReadTSV(r io.Reader) (*Graph, error) {
 		lineNo++
 		line := sc.Text()
 		if line == "" || strings.HasPrefix(line, "#") {
+			// The WriteTSV count header is a pre-allocation hint; Grow
+			// clamps it, so forged counts cost nothing. Any other comment
+			// is skipped.
+			var nodes, edges int
+			if n, _ := fmt.Sscanf(line, "# fairsqg-graph nodes=%d edges=%d", &nodes, &edges); n == 2 {
+				g.Grow(nodes)
+			}
 			continue
 		}
 		fields := strings.Split(line, "\t")

@@ -1,0 +1,991 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Binary graph snapshots serialize the *frozen* representation directly —
+// interned label and attribute tables, per-node labels, both adjacency
+// directions, typed attribute columns with presence bitmaps, active
+// domains, the label index and the per-(label, attribute) sorted
+// permutation indexes — so ReadSnapshot reconstructs a frozen graph with
+// pure sequential decoding: no parsing, no column transposition and no
+// re-sorting. Restart cost becomes proportional to I/O instead of to
+// Freeze's O(n log n) index builds.
+//
+// Layout (all integers little-endian; "uvarint" is unsigned LEB128):
+//
+//	magic   [8]byte  "FSQGSNAP"
+//	version uint32   (SnapshotVersion)
+//	count   uint32   number of sections (fixed per version)
+//	table   count × { tag [4]byte, offset uint64, length uint64, crc uint32 }
+//	payloads, contiguous and in table order
+//
+// Sections appear in the fixed order of snapSectionOrder with contiguous
+// offsets; readers reject reordered, overlapping, truncated or trailing
+// bytes, and verify each section's CRC-32 (IEEE) before decoding it. The
+// string table (STRS) interns every string once — labels, attribute
+// names, string column values and domain values all reference it — so
+// categorical attributes cost one uvarint per occurrence on disk.
+//
+// Versioning policy: the version is bumped on any layout change; readers
+// accept exactly the versions they know (currently only SnapshotVersion)
+// and fail loudly otherwise. Snapshots are a cache of a source graph, not
+// an archival format — on a version mismatch callers fall back to the
+// TSV/JSON source and rewrite the snapshot.
+
+// SnapshotVersion is the format version WriteSnapshot emits and
+// ReadSnapshot accepts.
+const SnapshotVersion = 1
+
+// snapMagic identifies a fairsqg graph snapshot file.
+const snapMagic = "FSQGSNAP"
+
+// snapSectionOrder is the canonical section layout of version 1.
+var snapSectionOrder = []string{
+	"STRS", // interned string table
+	"META", // counts, degree stats, memory stats
+	"LBLS", // label dictionary (intern order)
+	"ATTR", // attribute-name dictionary (intern order)
+	"NODE", // per-node label ids
+	"OUTE", // out-adjacency, sorted by (label, target)
+	"INED", // in-adjacency, sorted by (label, source)
+	"COLS", // typed attribute columns + presence bitmaps
+	"DOMS", // active domains (sorted distinct values per attribute)
+	"BYLB", // label index: nodes per label, ascending
+	"IDXS", // sorted (label, attribute) permutation indexes
+}
+
+const snapHeaderBase = 8 + 4 + 4 // magic + version + section count
+const snapTableEntry = 4 + 8 + 8 + 4
+
+// snapValueOverhead is the minimum encoded size of one Value (kind byte).
+const snapValueOverhead = 1
+
+// WriteSnapshot serializes a frozen graph in the versioned binary
+// snapshot format. The write is deterministic: the same graph always
+// produces the same bytes.
+func WriteSnapshot(w io.Writer, g *Graph) error {
+	if !g.frozen {
+		return fmt.Errorf("graph: WriteSnapshot requires a frozen graph; call Freeze first")
+	}
+	enc := &snapEncoder{strIdx: make(map[string]uint64)}
+
+	// Payload sections first: encoding them interns into the string
+	// table, which is then serialized as the leading STRS section.
+	meta := enc.encodeMeta(g)
+	lbls := enc.encodeStringRefs(g.labels)
+	attr := enc.encodeStringRefs(g.attrTable)
+	node := enc.encodeNodes(g)
+	oute := enc.encodeAdjacency(g.out)
+	ined := enc.encodeAdjacency(g.in)
+	cols := enc.encodeColumns(g)
+	doms := enc.encodeDomains(g)
+	bylb := enc.encodeByLabel(g)
+	idxs := enc.encodeIndexes(g)
+	strs := enc.encodeStringTable()
+
+	payloads := [][]byte{strs, meta, lbls, attr, node, oute, ined, cols, doms, bylb, idxs}
+
+	var hdr bytes.Buffer
+	hdr.WriteString(snapMagic)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], SnapshotVersion)
+	hdr.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(payloads)))
+	hdr.Write(u32[:])
+	offset := uint64(snapHeaderBase + snapTableEntry*len(payloads))
+	for i, p := range payloads {
+		hdr.WriteString(snapSectionOrder[i])
+		var u64 [8]byte
+		binary.LittleEndian.PutUint64(u64[:], offset)
+		hdr.Write(u64[:])
+		binary.LittleEndian.PutUint64(u64[:], uint64(len(p)))
+		hdr.Write(u64[:])
+		binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(p))
+		hdr.Write(u32[:])
+		offset += uint64(len(p))
+	}
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return fmt.Errorf("graph: writing snapshot header: %w", err)
+	}
+	for i, p := range payloads {
+		if _, err := w.Write(p); err != nil {
+			return fmt.Errorf("graph: writing snapshot section %s: %w", snapSectionOrder[i], err)
+		}
+	}
+	return nil
+}
+
+// snapEncoder carries the string-interning state across sections.
+type snapEncoder struct {
+	strs   []string
+	strIdx map[string]uint64
+}
+
+func (e *snapEncoder) ref(s string) uint64 {
+	if i, ok := e.strIdx[s]; ok {
+		return i
+	}
+	i := uint64(len(e.strs))
+	e.strs = append(e.strs, s)
+	e.strIdx[s] = i
+	return i
+}
+
+func putUvarint(buf *bytes.Buffer, x uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], x)])
+}
+
+func (e *snapEncoder) putValue(buf *bytes.Buffer, v Value) {
+	buf.WriteByte(byte(v.kind))
+	switch v.kind {
+	case KindBool:
+		if v.num != 0 {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+	case KindNumber:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.num))
+		buf.Write(b[:])
+	case KindString:
+		putUvarint(buf, e.ref(v.str))
+	}
+}
+
+func (e *snapEncoder) encodeMeta(g *Graph) []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(len(g.nodes)))
+	putUvarint(&buf, uint64(g.numEdges))
+	putUvarint(&buf, uint64(len(g.labels)))
+	putUvarint(&buf, uint64(len(g.attrTable)))
+	putUvarint(&buf, uint64(g.maxOutDeg))
+	putUvarint(&buf, uint64(g.maxInDeg))
+	putUvarint(&buf, uint64(g.mem.ColumnBytes))
+	putUvarint(&buf, uint64(g.mem.IndexBytes))
+	putUvarint(&buf, uint64(g.mem.Indexes))
+	return buf.Bytes()
+}
+
+func (e *snapEncoder) encodeStringRefs(ss []string) []byte {
+	var buf bytes.Buffer
+	for _, s := range ss {
+		putUvarint(&buf, e.ref(s))
+	}
+	return buf.Bytes()
+}
+
+func (e *snapEncoder) encodeNodes(g *Graph) []byte {
+	var buf bytes.Buffer
+	for i := range g.nodes {
+		putUvarint(&buf, uint64(g.nodes[i].label))
+	}
+	return buf.Bytes()
+}
+
+func (e *snapEncoder) encodeAdjacency(adj [][]Edge) []byte {
+	var buf bytes.Buffer
+	for _, es := range adj {
+		putUvarint(&buf, uint64(len(es)))
+		for _, ed := range es {
+			putUvarint(&buf, uint64(ed.To))
+			putUvarint(&buf, uint64(ed.Label))
+		}
+	}
+	return buf.Bytes()
+}
+
+func (e *snapEncoder) encodeColumns(g *Graph) []byte {
+	var buf bytes.Buffer
+	var b8 [8]byte
+	for a := range g.cols {
+		c := &g.cols[a]
+		buf.WriteByte(byte(c.kind))
+		putUvarint(&buf, uint64(c.count))
+		for _, w := range c.present {
+			binary.LittleEndian.PutUint64(b8[:], w)
+			buf.Write(b8[:])
+		}
+		if c.count == 0 {
+			continue
+		}
+		// Typed payload holds present values only, in NodeID order; the
+		// decoder scatters them back through the presence bitmap.
+		switch {
+		case c.nums != nil:
+			for i := range g.nodes {
+				if c.has(NodeID(i)) {
+					binary.LittleEndian.PutUint64(b8[:], math.Float64bits(c.nums[i]))
+					buf.Write(b8[:])
+				}
+			}
+		case c.strs != nil:
+			for i := range g.nodes {
+				if c.has(NodeID(i)) {
+					putUvarint(&buf, e.ref(c.strs[i]))
+				}
+			}
+		case c.bools != nil:
+			for _, w := range c.bools {
+				binary.LittleEndian.PutUint64(b8[:], w)
+				buf.Write(b8[:])
+			}
+		default:
+			for i := range g.nodes {
+				if c.has(NodeID(i)) {
+					e.putValue(&buf, c.vals[i])
+				}
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+func (e *snapEncoder) encodeDomains(g *Graph) []byte {
+	var buf bytes.Buffer
+	for _, dom := range g.domains {
+		putUvarint(&buf, uint64(len(dom)))
+		for _, v := range dom {
+			e.putValue(&buf, v)
+		}
+	}
+	return buf.Bytes()
+}
+
+func (e *snapEncoder) encodeByLabel(g *Graph) []byte {
+	labels := make([]LabelID, 0, len(g.byLabel))
+	for l := range g.byLabel {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(len(labels)))
+	for _, l := range labels {
+		nodes := g.byLabel[l]
+		putUvarint(&buf, uint64(l))
+		putUvarint(&buf, uint64(len(nodes)))
+		for _, v := range nodes {
+			putUvarint(&buf, uint64(v))
+		}
+	}
+	return buf.Bytes()
+}
+
+func (e *snapEncoder) encodeIndexes(g *Graph) []byte {
+	keys := make([]labelAttr, 0, len(g.indexes))
+	for k := range g.indexes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].label != keys[j].label {
+			return keys[i].label < keys[j].label
+		}
+		return keys[i].attr < keys[j].attr
+	})
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(len(keys)))
+	for _, k := range keys {
+		perm := g.indexes[k]
+		putUvarint(&buf, uint64(k.label))
+		putUvarint(&buf, uint64(k.attr))
+		putUvarint(&buf, uint64(len(perm)))
+		for _, v := range perm {
+			putUvarint(&buf, uint64(v))
+		}
+	}
+	return buf.Bytes()
+}
+
+func (e *snapEncoder) encodeStringTable() []byte {
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(len(e.strs)))
+	for _, s := range e.strs {
+		putUvarint(&buf, uint64(len(s)))
+		buf.WriteString(s)
+	}
+	return buf.Bytes()
+}
+
+// ReadSnapshot reconstructs a frozen graph from the snapshot format. Every
+// structural claim the file makes is validated before it drives an
+// allocation — counts are bounded by the bytes that must carry them, IDs
+// by the dictionaries, orderings by the frozen-graph invariants — so
+// corrupt or hostile inputs produce an error (naming the failing section)
+// rather than a panic or an outsized allocation.
+func ReadSnapshot(r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading snapshot: %w", err)
+	}
+	return readSnapshotBytes(data)
+}
+
+// snapSection is one decoded section-table entry plus its payload.
+type snapSection struct {
+	tag     string
+	payload []byte
+	crc     uint32
+}
+
+func readSnapshotBytes(data []byte) (*Graph, error) {
+	if len(data) < snapHeaderBase {
+		return nil, fmt.Errorf("graph: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:8]) != snapMagic {
+		return nil, fmt.Errorf("graph: bad snapshot magic %q", data[:8])
+	}
+	version := binary.LittleEndian.Uint32(data[8:12])
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("graph: unsupported snapshot version %d (this build reads version %d)", version, SnapshotVersion)
+	}
+	count := binary.LittleEndian.Uint32(data[12:16])
+	if int(count) != len(snapSectionOrder) {
+		return nil, fmt.Errorf("graph: snapshot has %d sections, version %d defines %d", count, version, len(snapSectionOrder))
+	}
+	tableEnd := snapHeaderBase + snapTableEntry*int(count)
+	if len(data) < tableEnd {
+		return nil, fmt.Errorf("graph: snapshot truncated inside section table")
+	}
+	sections := make(map[string]*snapSection, count)
+	running := uint64(tableEnd)
+	for i := 0; i < int(count); i++ {
+		ent := data[snapHeaderBase+snapTableEntry*i:]
+		tag := string(ent[:4])
+		offset := binary.LittleEndian.Uint64(ent[4:12])
+		length := binary.LittleEndian.Uint64(ent[12:20])
+		crc := binary.LittleEndian.Uint32(ent[20:24])
+		if tag != snapSectionOrder[i] {
+			return nil, fmt.Errorf("graph: snapshot section %d is %q, want %q (unknown or out of order)", i, tag, snapSectionOrder[i])
+		}
+		if offset != running {
+			return nil, fmt.Errorf("graph: snapshot section %s at offset %d, want %d (sections must be contiguous)", tag, offset, running)
+		}
+		if length > uint64(len(data))-running {
+			return nil, fmt.Errorf("graph: snapshot section %s truncated (claims %d bytes, %d remain)", tag, length, uint64(len(data))-running)
+		}
+		sections[tag] = &snapSection{tag: tag, payload: data[running : running+length], crc: crc}
+		running += length
+	}
+	if running != uint64(len(data)) {
+		return nil, fmt.Errorf("graph: snapshot carries %d trailing bytes after the last section", uint64(len(data))-running)
+	}
+	dec := &snapDecoder{sections: sections}
+	g, err := dec.decode()
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// snapDecoder decodes the canonical sections in dependency order. The
+// cursor always points into the current section's payload; all reads are
+// bounds-checked against it.
+type snapDecoder struct {
+	sections map[string]*snapSection
+	tag      string
+	buf      []byte
+	pos      int
+
+	strs []string
+}
+
+// enter switches to a section after verifying its checksum.
+func (d *snapDecoder) enter(tag string) error {
+	s := d.sections[tag]
+	if got := crc32.ChecksumIEEE(s.payload); got != s.crc {
+		return fmt.Errorf("graph: snapshot section %s: CRC mismatch (file has %08x, payload sums to %08x)", tag, s.crc, got)
+	}
+	d.tag, d.buf, d.pos = tag, s.payload, 0
+	return nil
+}
+
+// leave asserts the section was consumed exactly.
+func (d *snapDecoder) leave() error {
+	if d.pos != len(d.buf) {
+		return d.errf("%d undecoded trailing bytes", len(d.buf)-d.pos)
+	}
+	return nil
+}
+
+func (d *snapDecoder) errf(format string, args ...any) error {
+	return fmt.Errorf("graph: snapshot section %s: %s", d.tag, fmt.Sprintf(format, args...))
+}
+
+func (d *snapDecoder) remaining() int { return len(d.buf) - d.pos }
+
+func (d *snapDecoder) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.errf("bad uvarint at byte %d", d.pos)
+	}
+	d.pos += n
+	return x, nil
+}
+
+// count reads a length-prefix and validates it against the bytes that
+// must back it (minSize per element), so a forged count can never force
+// an allocation larger than a small multiple of the input itself.
+func (d *snapDecoder) count(what string, minSize int) (int, error) {
+	x, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if x > uint64(d.remaining()/minSize) {
+		return 0, d.errf("%s count %d exceeds the %d bytes left in the section", what, x, d.remaining())
+	}
+	return int(x), nil
+}
+
+func (d *snapDecoder) u64() (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, d.errf("truncated 8-byte word at byte %d", d.pos)
+	}
+	x := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return x, nil
+}
+
+func (d *snapDecoder) words(n int) ([]uint64, error) {
+	if d.remaining() < 8*n {
+		return nil, d.errf("truncated %d-word bitmap at byte %d", n, d.pos)
+	}
+	ws := make([]uint64, n)
+	for i := range ws {
+		ws[i] = binary.LittleEndian.Uint64(d.buf[d.pos+8*i:])
+	}
+	d.pos += 8 * n
+	return ws, nil
+}
+
+func (d *snapDecoder) stringRef() (string, error) {
+	x, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if x >= uint64(len(d.strs)) {
+		return "", d.errf("string ref %d out of range [0,%d)", x, len(d.strs))
+	}
+	return d.strs[x], nil
+}
+
+func (d *snapDecoder) value() (Value, error) {
+	if d.remaining() < 1 {
+		return Null, d.errf("truncated value at byte %d", d.pos)
+	}
+	kind := Kind(d.buf[d.pos])
+	d.pos++
+	switch kind {
+	case KindNull:
+		return Null, nil
+	case KindBool:
+		if d.remaining() < 1 {
+			return Null, d.errf("truncated bool value at byte %d", d.pos)
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		if b > 1 {
+			return Null, d.errf("bool value byte %d is %d, want 0 or 1", d.pos-1, b)
+		}
+		return Bool(b == 1), nil
+	case KindNumber:
+		bits, err := d.u64()
+		if err != nil {
+			return Null, err
+		}
+		return Num(math.Float64frombits(bits)), nil
+	case KindString:
+		s, err := d.stringRef()
+		if err != nil {
+			return Null, err
+		}
+		return Str(s), nil
+	default:
+		return Null, d.errf("unknown value kind %d", kind)
+	}
+}
+
+// meta carries the META section's counts through the decode.
+type snapMeta struct {
+	nodes, edges, labels, attrs int
+	maxOutDeg, maxInDeg         int
+	mem                         MemoryStats
+}
+
+func (d *snapDecoder) decode() (*Graph, error) {
+	// STRS first — every later section references it.
+	if err := d.enter("STRS"); err != nil {
+		return nil, err
+	}
+	nstr, err := d.count("string", 1)
+	if err != nil {
+		return nil, err
+	}
+	d.strs = make([]string, nstr)
+	for i := range d.strs {
+		l, err := d.count("string byte", 1)
+		if err != nil {
+			return nil, err
+		}
+		d.strs[i] = string(d.buf[d.pos : d.pos+l])
+		d.pos += l
+	}
+	if err := d.leave(); err != nil {
+		return nil, err
+	}
+
+	meta, err := d.decodeMeta()
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		numEdges:  meta.edges,
+		maxOutDeg: meta.maxOutDeg,
+		maxInDeg:  meta.maxInDeg,
+		mem:       meta.mem,
+		frozen:    true,
+	}
+	if g.labels, g.labelIDs, err = d.decodeDict("LBLS", meta.labels); err != nil {
+		return nil, err
+	}
+	attrIDs := make(map[string]AttrID, meta.attrs)
+	{
+		names, ids, err := d.decodeDict("ATTR", meta.attrs)
+		if err != nil {
+			return nil, err
+		}
+		g.attrTable = names
+		for s, l := range ids {
+			attrIDs[s] = AttrID(l)
+		}
+	}
+	g.attrIDs = attrIDs
+	if err := d.decodeNodes(g, meta); err != nil {
+		return nil, err
+	}
+	if g.out, err = d.decodeAdjacency("OUTE", meta, meta.maxOutDeg); err != nil {
+		return nil, err
+	}
+	if g.in, err = d.decodeAdjacency("INED", meta, meta.maxInDeg); err != nil {
+		return nil, err
+	}
+	if err := d.decodeColumns(g, meta); err != nil {
+		return nil, err
+	}
+	if err := d.decodeDomains(g, meta); err != nil {
+		return nil, err
+	}
+	if err := d.decodeByLabel(g, meta); err != nil {
+		return nil, err
+	}
+	if err := d.decodeIndexes(g, meta); err != nil {
+		return nil, err
+	}
+	g.attrNames = make([]string, len(g.attrTable))
+	copy(g.attrNames, g.attrTable)
+	sort.Strings(g.attrNames)
+	return g, nil
+}
+
+func (d *snapDecoder) decodeMeta() (*snapMeta, error) {
+	if err := d.enter("META"); err != nil {
+		return nil, err
+	}
+	var fields [9]uint64
+	for i := range fields {
+		x, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		fields[i] = x
+	}
+	if err := d.leave(); err != nil {
+		return nil, err
+	}
+	const maxID = math.MaxInt32 // NodeID/LabelID/AttrID are int32
+	for i, x := range fields[:4] {
+		if x > maxID {
+			return nil, fmt.Errorf("graph: snapshot section META: count %d is %d, beyond the int32 id space", i, x)
+		}
+	}
+	m := &snapMeta{
+		nodes: int(fields[0]), edges: int(fields[1]),
+		labels: int(fields[2]), attrs: int(fields[3]),
+		maxOutDeg: int(fields[4]), maxInDeg: int(fields[5]),
+		mem: MemoryStats{
+			ColumnBytes: int64(fields[6]),
+			IndexBytes:  int64(fields[7]),
+			Indexes:     int(fields[8]),
+		},
+	}
+	// Cross-check declared counts against the sections that must carry
+	// them (one byte minimum per element) before anything is allocated.
+	words := uint64((m.nodes + 63) / 64)
+	checks := []struct {
+		tag  string
+		need uint64
+	}{
+		{"LBLS", uint64(m.labels)},
+		{"ATTR", uint64(m.attrs)},
+		{"NODE", uint64(m.nodes)},
+		{"OUTE", uint64(m.nodes) + 2*uint64(m.edges)},
+		{"INED", uint64(m.nodes) + 2*uint64(m.edges)},
+		// Every column carries at least a kind byte, a count byte and a
+		// full presence bitmap, every domain at least a length byte —
+		// so declared attribute and node counts are backed by real bytes
+		// and decode allocations stay proportional to the input size.
+		{"COLS", uint64(m.attrs) * (2 + 8*words)},
+		{"DOMS", uint64(m.attrs)},
+	}
+	for _, c := range checks {
+		if have := uint64(len(d.sections[c.tag].payload)); c.need > have {
+			return nil, fmt.Errorf("graph: snapshot section META: declared sizes need >= %d bytes in %s, section has %d", c.need, c.tag, have)
+		}
+	}
+	return m, nil
+}
+
+// decodeDict reads n string refs and rebuilds the string -> id map,
+// rejecting duplicate entries (the dictionaries are injective by
+// construction).
+func (d *snapDecoder) decodeDict(tag string, n int) ([]string, map[string]LabelID, error) {
+	if err := d.enter(tag); err != nil {
+		return nil, nil, err
+	}
+	// nil (not empty) when n == 0, matching the builder's zero state.
+	var names []string
+	if n > 0 {
+		names = make([]string, n)
+	}
+	ids := make(map[string]LabelID, n)
+	for i := range names {
+		s, err := d.stringRef()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := ids[s]; dup {
+			return nil, nil, d.errf("duplicate dictionary entry %q", s)
+		}
+		names[i] = s
+		ids[s] = LabelID(i)
+	}
+	if err := d.leave(); err != nil {
+		return nil, nil, err
+	}
+	return names, ids, nil
+}
+
+func (d *snapDecoder) decodeNodes(g *Graph, meta *snapMeta) error {
+	if err := d.enter("NODE"); err != nil {
+		return err
+	}
+	if meta.nodes > 0 {
+		g.nodes = make([]nodeData, meta.nodes)
+	}
+	for i := range g.nodes {
+		l, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if l >= uint64(meta.labels) {
+			return d.errf("node %d label %d out of range [0,%d)", i, l, meta.labels)
+		}
+		g.nodes[i].label = LabelID(l)
+	}
+	return d.leave()
+}
+
+// decodeAdjacency reads one direction's edge lists, enforcing the frozen
+// (label, endpoint) sort order, the declared edge total and the declared
+// maximum degree.
+func (d *snapDecoder) decodeAdjacency(tag string, meta *snapMeta, wantMaxDeg int) ([][]Edge, error) {
+	if err := d.enter(tag); err != nil {
+		return nil, err
+	}
+	var adj [][]Edge
+	if meta.nodes > 0 {
+		adj = make([][]Edge, meta.nodes)
+	}
+	total, maxDeg := 0, 0
+	for i := range adj {
+		deg, err := d.count("edge", 2)
+		if err != nil {
+			return nil, err
+		}
+		if deg == 0 {
+			continue
+		}
+		es := make([]Edge, deg)
+		for j := range es {
+			to, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			lb, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if to >= uint64(meta.nodes) {
+				return nil, d.errf("node %d edge %d endpoint %d out of range [0,%d)", i, j, to, meta.nodes)
+			}
+			if lb >= uint64(meta.labels) {
+				return nil, d.errf("node %d edge %d label %d out of range [0,%d)", i, j, lb, meta.labels)
+			}
+			es[j] = Edge{To: NodeID(to), Label: LabelID(lb)}
+			if j > 0 {
+				prev := es[j-1]
+				if prev.Label > es[j].Label || (prev.Label == es[j].Label && prev.To > es[j].To) {
+					return nil, d.errf("node %d edges not sorted by (label, endpoint) at position %d", i, j)
+				}
+			}
+		}
+		adj[i] = es
+		total += deg
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	if total != meta.edges {
+		return nil, d.errf("edge lists sum to %d, META declares %d", total, meta.edges)
+	}
+	if maxDeg != wantMaxDeg {
+		return nil, d.errf("maximum degree %d, META declares %d", maxDeg, wantMaxDeg)
+	}
+	return adj, d.leave()
+}
+
+func (d *snapDecoder) decodeColumns(g *Graph, meta *snapMeta) error {
+	if err := d.enter("COLS"); err != nil {
+		return err
+	}
+	n := meta.nodes
+	words := (n + 63) / 64
+	g.cols = make([]column, meta.attrs)
+	for a := range g.cols {
+		c := &g.cols[a]
+		if d.remaining() < 1 {
+			return d.errf("attribute %d: truncated kind byte", a)
+		}
+		kind := Kind(d.buf[d.pos])
+		d.pos++
+		if kind > KindString {
+			return d.errf("attribute %d: unknown column kind %d", a, kind)
+		}
+		cnt, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if cnt > uint64(n) {
+			return d.errf("attribute %d: count %d exceeds %d nodes", a, cnt, n)
+		}
+		c.kind, c.count = kind, int(cnt)
+		if c.present, err = d.words(words); err != nil {
+			return err
+		}
+		pop := 0
+		for _, w := range c.present {
+			pop += bits.OnesCount64(w)
+		}
+		if n%64 != 0 && words > 0 && c.present[words-1]>>(uint(n%64)) != 0 {
+			return d.errf("attribute %d: presence bitmap has bits beyond node %d", a, n-1)
+		}
+		if pop != c.count {
+			return d.errf("attribute %d: presence bitmap has %d bits, count says %d", a, pop, c.count)
+		}
+		if c.count == 0 {
+			continue
+		}
+		switch kind {
+		case KindNumber:
+			if d.remaining() < 8*c.count {
+				return d.errf("attribute %d: truncated float payload", a)
+			}
+			c.nums = make([]float64, n)
+			for i := 0; i < n; i++ {
+				if bitGet(c.present, i) {
+					c.nums[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+					d.pos += 8
+				}
+			}
+		case KindString:
+			c.strs = make([]string, n)
+			for i := 0; i < n; i++ {
+				if bitGet(c.present, i) {
+					if c.strs[i], err = d.stringRef(); err != nil {
+						return err
+					}
+				}
+			}
+		case KindBool:
+			if c.bools, err = d.words(words); err != nil {
+				return err
+			}
+			for w := range c.bools {
+				if c.bools[w]&^c.present[w] != 0 {
+					return d.errf("attribute %d: bool bitmap sets bits outside the presence bitmap", a)
+				}
+			}
+		default: // KindNull: mixed or all-null values
+			c.vals = make([]Value, n)
+			for i := 0; i < n; i++ {
+				if bitGet(c.present, i) {
+					if c.vals[i], err = d.value(); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return d.leave()
+}
+
+func (d *snapDecoder) decodeDomains(g *Graph, meta *snapMeta) error {
+	if err := d.enter("DOMS"); err != nil {
+		return err
+	}
+	g.domains = make([][]Value, meta.attrs)
+	for a := range g.domains {
+		l, err := d.count("domain value", snapValueOverhead)
+		if err != nil {
+			return err
+		}
+		dom := make([]Value, l)
+		for i := range dom {
+			if dom[i], err = d.value(); err != nil {
+				return err
+			}
+			if i > 0 && dom[i-1].Compare(dom[i]) >= 0 {
+				return d.errf("attribute %d: active domain not sorted and distinct at position %d", a, i)
+			}
+		}
+		g.domains[a] = dom
+	}
+	return d.leave()
+}
+
+func (d *snapDecoder) decodeByLabel(g *Graph, meta *snapMeta) error {
+	if err := d.enter("BYLB"); err != nil {
+		return err
+	}
+	nlabels, err := d.count("label bucket", 2)
+	if err != nil {
+		return err
+	}
+	g.byLabel = make(map[LabelID][]NodeID, nlabels)
+	covered := 0
+	for i := 0; i < nlabels; i++ {
+		lb, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if lb >= uint64(meta.labels) {
+			return d.errf("bucket %d label %d out of range [0,%d)", i, lb, meta.labels)
+		}
+		if _, dup := g.byLabel[LabelID(lb)]; dup {
+			return d.errf("duplicate bucket for label %d", lb)
+		}
+		l, err := d.count("label member", 1)
+		if err != nil {
+			return err
+		}
+		if l == 0 {
+			return d.errf("bucket for label %d is empty", lb)
+		}
+		nodes := make([]NodeID, l)
+		for j := range nodes {
+			v, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			if v >= uint64(meta.nodes) {
+				return d.errf("label %d member %d out of range [0,%d)", lb, v, meta.nodes)
+			}
+			if g.nodes[v].label != LabelID(lb) {
+				return d.errf("node %d filed under label %d but carries label %d", v, lb, g.nodes[v].label)
+			}
+			if j > 0 && nodes[j-1] >= NodeID(v) {
+				return d.errf("label %d members not strictly ascending at position %d", lb, j)
+			}
+			nodes[j] = NodeID(v)
+		}
+		g.byLabel[LabelID(lb)] = nodes
+		covered += l
+	}
+	if covered != meta.nodes {
+		return d.errf("buckets cover %d nodes, graph has %d", covered, meta.nodes)
+	}
+	return d.leave()
+}
+
+func (d *snapDecoder) decodeIndexes(g *Graph, meta *snapMeta) error {
+	if err := d.enter("IDXS"); err != nil {
+		return err
+	}
+	nidx, err := d.count("index", 3)
+	if err != nil {
+		return err
+	}
+	if nidx != meta.mem.Indexes {
+		return d.errf("%d indexes, META declares %d", nidx, meta.mem.Indexes)
+	}
+	g.indexes = make(map[labelAttr][]NodeID, nidx)
+	for i := 0; i < nidx; i++ {
+		lb, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		at, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if lb >= uint64(meta.labels) || at >= uint64(meta.attrs) {
+			return d.errf("index %d key (%d, %d) out of range", i, lb, at)
+		}
+		key := labelAttr{LabelID(lb), AttrID(at)}
+		if _, dup := g.indexes[key]; dup {
+			return d.errf("duplicate index for (label %d, attr %d)", lb, at)
+		}
+		l, err := d.count("index entry", 1)
+		if err != nil {
+			return err
+		}
+		if l != len(g.byLabel[key.label]) {
+			return d.errf("index (%d, %d) has %d entries, label has %d nodes", lb, at, l, len(g.byLabel[key.label]))
+		}
+		perm := make([]NodeID, l)
+		c := &g.cols[at]
+		for j := range perm {
+			v, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			if v >= uint64(meta.nodes) {
+				return d.errf("index (%d, %d) entry %d out of range [0,%d)", lb, at, v, meta.nodes)
+			}
+			if g.nodes[v].label != key.label {
+				return d.errf("index (%d, %d) lists node %d of label %d", lb, at, v, g.nodes[v].label)
+			}
+			perm[j] = NodeID(v)
+			if j > 0 {
+				// The permutation must be sorted by value under the total
+				// order with ties broken by ascending NodeID — the
+				// invariant SortedIndex.Range binary-searches on.
+				cmp := c.value(perm[j-1]).Compare(c.value(perm[j]))
+				if cmp > 0 || (cmp == 0 && perm[j-1] >= perm[j]) {
+					return d.errf("index (%d, %d) not sorted at position %d", lb, at, j)
+				}
+			}
+		}
+		g.indexes[key] = perm
+	}
+	return d.leave()
+}

@@ -163,9 +163,9 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
-// handleUploadGraph ingests a TSV or JSON graph body. The format comes
-// from ?format=, else the Content-Type, defaulting to TSV. Bodies beyond
-// MaxUploadBytes are refused with 413.
+// handleUploadGraph ingests a TSV, JSON or binary-snapshot graph body.
+// The format comes from ?format=, else the Content-Type, defaulting to
+// TSV. Bodies beyond MaxUploadBytes are refused with 413.
 func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	format := r.URL.Query().Get("format")

@@ -57,6 +57,11 @@ type Registry struct {
 	// disableAttrIndex propagates the ablation knob to every per-graph
 	// engine created by Put.
 	disableAttrIndex bool
+	// snaps, when set, persists every registered graph as a binary
+	// snapshot and deletes the file again on Remove; restore on startup
+	// goes through putRestored so freshly loaded snapshots aren't
+	// immediately rewritten.
+	snaps *snapshotStore
 }
 
 // NewRegistry returns an empty registry. workers is the per-graph engine
@@ -66,8 +71,28 @@ func NewRegistry(workers, cacheSize int) *Registry {
 	return &Registry{graphs: make(map[string]*graphEntry), workers: workers, cache: cacheSize}
 }
 
-// Put registers a frozen graph under name, rejecting duplicates.
+// Put registers a frozen graph under name, rejecting duplicates. When a
+// snapshot store is attached, the frozen layout is persisted (atomic
+// temp-file + rename) so the next startup restores the graph without
+// re-parsing or re-freezing.
 func (r *Registry) Put(name string, g *graph.Graph) error {
+	if err := r.put(name, g); err != nil {
+		return err
+	}
+	if r.snaps != nil {
+		r.snaps.save(name, g)
+	}
+	return nil
+}
+
+// putRestored registers a graph decoded from its own snapshot; identical
+// to Put except the file on disk is already current, so nothing is
+// rewritten.
+func (r *Registry) putRestored(name string, g *graph.Graph) error {
+	return r.put(name, g)
+}
+
+func (r *Registry) put(name string, g *graph.Graph) error {
 	if !graphNameRe.MatchString(name) {
 		return fmt.Errorf("server: invalid graph name %q (want [A-Za-z0-9._-]{1,64})", name)
 	}
@@ -93,8 +118,9 @@ func (r *Registry) Put(name string, g *graph.Graph) error {
 	return nil
 }
 
-// Read parses a graph from rd in the named format ("tsv" or "json"),
-// freezes it and registers it under name.
+// Read parses a graph from rd in the named format ("tsv", "json" or
+// "snapshot"), freezes it (snapshots arrive frozen) and registers it
+// under name.
 func (r *Registry) Read(name, format string, rd io.Reader) error {
 	var (
 		g   *graph.Graph
@@ -105,8 +131,10 @@ func (r *Registry) Read(name, format string, rd io.Reader) error {
 		g, err = graph.ReadJSON(rd)
 	case "tsv", "":
 		g, err = graph.ReadTSV(rd)
+	case "snapshot":
+		g, err = graph.ReadSnapshot(rd)
 	default:
-		return fmt.Errorf("server: unknown graph format %q (want tsv or json)", format)
+		return fmt.Errorf("server: unknown graph format %q (want tsv, json or snapshot)", format)
 	}
 	if err != nil {
 		return err
@@ -115,7 +143,8 @@ func (r *Registry) Read(name, format string, rd io.Reader) error {
 }
 
 // LoadFile reads a graph file (format by extension: .json is JSON,
-// anything else TSV) and registers it; used by the daemon's -graph flag.
+// .fsnap a binary snapshot, anything else TSV) and registers it; used by
+// the daemon's -graph flag.
 func (r *Registry) LoadFile(name, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -123,8 +152,11 @@ func (r *Registry) LoadFile(name, path string) error {
 	}
 	defer f.Close()
 	format := "tsv"
-	if strings.HasSuffix(strings.ToLower(path), ".json") {
+	switch {
+	case strings.HasSuffix(strings.ToLower(path), ".json"):
 		format = "json"
+	case strings.HasSuffix(strings.ToLower(path), snapExt):
+		format = "snapshot"
 	}
 	return r.Read(name, format, f)
 }
@@ -168,17 +200,23 @@ func (r *Registry) Acquire(name string) (*Handle, error) {
 	return &Handle{r: r, entry: entry}, nil
 }
 
-// Remove unregisters a graph. Existing handles remain valid; the entry's
-// memory is reclaimed once the last one releases.
+// Remove unregisters a graph and deletes its snapshot, if any. Existing
+// handles remain valid; the entry's memory is reclaimed once the last one
+// releases.
 func (r *Registry) Remove(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	entry, ok := r.graphs[name]
+	if ok {
+		entry.removed = true
+		delete(r.graphs, name)
+	}
+	r.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("server: graph %q not registered", name)
 	}
-	entry.removed = true
-	delete(r.graphs, name)
+	if r.snaps != nil {
+		r.snaps.remove(name)
+	}
 	return nil
 }
 

@@ -32,6 +32,13 @@ type Options struct {
 	DisableIncScore bool
 	// MaxUploadBytes bounds graph upload bodies (default 64 MiB).
 	MaxUploadBytes int64
+	// SnapshotDir, when non-empty, enables warm restarts: every
+	// registered graph is persisted there as a binary frozen-layout
+	// snapshot (atomic temp-file + rename), and New restores the registry
+	// from the directory before serving. Corrupt or partial files are
+	// skipped (and partial ones cleaned), so a crash mid-write only costs
+	// the warm start for that graph, never correctness.
+	SnapshotDir string
 	// RequireGraph makes /readyz fail until a graph is registered.
 	RequireGraph bool
 	// Logger receives request and lifecycle logs; nil silences them.
@@ -44,13 +51,18 @@ type Server struct {
 	reg      *Registry
 	jobs     *Manager
 	met      *metrics
+	snaps    *snapshotStore
+	restored []string
 	logger   printfLogger
 	handler  http.Handler
 	draining atomic.Bool
 }
 
 // New builds a Server. It starts the job manager's worker pool; callers
-// must Shutdown to release it.
+// must Shutdown to release it. With Options.SnapshotDir set, the graph
+// registry is restored from the directory's snapshots before New returns
+// — restore failures (unreadable dir, corrupt files) degrade to a cold
+// registry rather than failing construction.
 func New(opts Options) *Server {
 	if opts.MaxUploadBytes <= 0 {
 		opts.MaxUploadBytes = 64 << 20
@@ -61,12 +73,31 @@ func New(opts Options) *Server {
 		met:  newMetrics(),
 	}
 	s.reg.disableAttrIndex = opts.DisableAttrIndex
+	s.logger = opts.Logger
+	if opts.SnapshotDir != "" {
+		snaps, err := newSnapshotStore(opts.SnapshotDir, opts.Logger)
+		if err != nil && s.logger != nil {
+			s.logger.Printf("snapshots disabled: %v", err)
+		}
+		if err == nil {
+			s.snaps = snaps
+			s.reg.snaps = snaps
+			s.restored = snaps.restore(s.reg)
+			if s.logger != nil && len(s.restored) > 0 {
+				s.logger.Printf("restored %d graph(s) from snapshots: %v", len(s.restored), s.restored)
+			}
+		}
+	}
 	s.jobs = NewManager(s.reg, s.met, opts.Jobs)
 	s.jobs.disableIncScore = opts.DisableIncScore
-	s.logger = opts.Logger
 	s.handler = s.routes()
 	return s
 }
+
+// RestoredGraphs returns the names restored from the snapshot directory
+// during New, sorted; the daemon uses it to skip -graph flags whose name
+// already came back warm.
+func (s *Server) RestoredGraphs() []string { return s.restored }
 
 // Registry exposes the graph registry, e.g. for preloading from files.
 func (s *Server) Registry() *Registry { return s.reg }
@@ -129,12 +160,18 @@ func (s *Server) MetricsSnapshot() map[string]any {
 			"hits":   distHits,
 			"misses": distMisses,
 		},
-		"storage": map[string]any{
-			"indexSelections": indexSel,
-			"scanSelections":  scanSel,
-			"indexBytes":      indexBytes,
-			"columnBytes":     columnBytes,
-		},
+		"storage": func() map[string]any {
+			st := map[string]any{
+				"indexSelections": indexSel,
+				"scanSelections":  scanSel,
+				"indexBytes":      indexBytes,
+				"columnBytes":     columnBytes,
+			}
+			if s.snaps != nil {
+				st["snapshots"] = s.snaps.counters()
+			}
+			return st
+		}(),
 		"http": map[string]any{
 			"requests": s.met.httpRequests.Value(),
 			"byCode":   s.met.httpByCode.String(),

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"fairsqg/internal/graph"
+)
+
+// snapExt is the on-disk extension for binary graph snapshots; partially
+// written files carry snapTmpExt until the final rename and are ignored
+// (and cleaned up) by restore.
+const (
+	snapExt    = ".fsnap"
+	snapTmpExt = ".fsnap.tmp"
+)
+
+// snapshotStore persists registered graphs as binary frozen-layout
+// snapshots (graph.WriteSnapshot) in a flat directory, one file per graph
+// name, and restores them into the registry on startup so a daemon
+// restart does not re-parse or re-Freeze anything. Writes are atomic:
+// temp file in the same directory, then rename. All operations are
+// best-effort — a disk error never fails graph registration, it only
+// shows up in the counters and the log.
+type snapshotStore struct {
+	dir    string
+	logger printfLogger
+
+	loads      atomic.Int64 // snapshots decoded successfully
+	writes     atomic.Int64 // snapshots persisted successfully
+	writeFails atomic.Int64 // persist attempts that errored
+	fallbacks  atomic.Int64 // corrupt/unreadable snapshots skipped on restore
+	tmpCleaned atomic.Int64 // partial .tmp files removed on restore
+	loadNanos  atomic.Int64 // cumulative decode wall time
+}
+
+// newSnapshotStore creates dir if needed and returns a store over it.
+func newSnapshotStore(dir string, logger printfLogger) (*snapshotStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: snapshot dir: %w", err)
+	}
+	return &snapshotStore{dir: dir, logger: logger}, nil
+}
+
+// path maps a registry name to its snapshot file. Names already match
+// graphNameRe ([A-Za-z0-9._-]{1,64}) and gain an extension, so the result
+// is always a plain file inside dir.
+func (st *snapshotStore) path(name string) string {
+	return filepath.Join(st.dir, name+snapExt)
+}
+
+func (st *snapshotStore) logf(format string, args ...any) {
+	if st.logger != nil {
+		st.logger.Printf(format, args...)
+	}
+}
+
+// save writes g's snapshot atomically under name. Errors are counted and
+// logged, not returned: persistence is an optimization, never a reason to
+// reject a registration.
+func (st *snapshotStore) save(name string, g *graph.Graph) {
+	tmp := st.path(name) + ".tmp" // ends in snapTmpExt
+	err := func() error {
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if err := graph.WriteSnapshot(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp, st.path(name))
+	}()
+	if err != nil {
+		st.writeFails.Add(1)
+		os.Remove(tmp)
+		st.logf("snapshot save %s: %v", name, err)
+		return
+	}
+	st.writes.Add(1)
+}
+
+// load decodes the snapshot for name, recording the wall time.
+func (st *snapshotStore) load(name string) (*graph.Graph, error) {
+	f, err := os.Open(st.path(name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	start := time.Now()
+	g, err := graph.ReadSnapshot(f)
+	if err != nil {
+		return nil, err
+	}
+	st.loads.Add(1)
+	st.loadNanos.Add(int64(time.Since(start)))
+	return g, nil
+}
+
+// remove deletes name's snapshot file (no-op if absent).
+func (st *snapshotStore) remove(name string) {
+	if err := os.Remove(st.path(name)); err != nil && !os.IsNotExist(err) {
+		st.logf("snapshot remove %s: %v", name, err)
+	}
+}
+
+// restore scans the directory: partial .tmp files are deleted, every
+// *.fsnap file is decoded and registered. A snapshot that fails to decode
+// (truncated by a crash, bit rot, version skew) is skipped and counted —
+// the caller falls back to the original source format, and the next
+// successful registration overwrites the bad file. Returns the names
+// restored, sorted.
+func (st *snapshotStore) restore(reg *Registry) []string {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		st.logf("snapshot restore: %v", err)
+		return nil
+	}
+	var restored []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		fn := e.Name()
+		if strings.HasSuffix(fn, snapTmpExt) {
+			if err := os.Remove(filepath.Join(st.dir, fn)); err == nil {
+				st.tmpCleaned.Add(1)
+				st.logf("snapshot restore: removed partial %s", fn)
+			}
+			continue
+		}
+		if !strings.HasSuffix(fn, snapExt) {
+			continue
+		}
+		name := strings.TrimSuffix(fn, snapExt)
+		if !graphNameRe.MatchString(name) {
+			continue
+		}
+		g, err := st.load(name)
+		if err != nil {
+			st.fallbacks.Add(1)
+			st.logf("snapshot restore %s: %v (will fall back to source format)", name, err)
+			continue
+		}
+		if err := reg.putRestored(name, g); err != nil {
+			st.logf("snapshot restore %s: %v", name, err)
+			continue
+		}
+		restored = append(restored, name)
+	}
+	sort.Strings(restored)
+	return restored
+}
+
+// counters renders the store's state for the /metrics "storage" section.
+func (st *snapshotStore) counters() map[string]any {
+	return map[string]any{
+		"loads":      st.loads.Load(),
+		"writes":     st.writes.Load(),
+		"writeFails": st.writeFails.Load(),
+		"fallbacks":  st.fallbacks.Load(),
+		"tmpCleaned": st.tmpCleaned.Load(),
+		"loadMs":     float64(st.loadNanos.Load()) / 1e6,
+	}
+}

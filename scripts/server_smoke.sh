@@ -25,7 +25,7 @@ say "generating a small lki graph"
 "$work/graphgen" -dataset lki -nodes 2000 -seed 7 -out "$work/lki.tsv"
 
 say "starting fairsqgd on a random port"
-"$work/fairsqgd" -addr 127.0.0.1:0 -workers 2 -queue 8 >"$work/server.log" 2>&1 &
+"$work/fairsqgd" -addr 127.0.0.1:0 -workers 2 -queue 8 -snapshot-dir "$work/snaps" >"$work/server.log" 2>&1 &
 pid=$!
 
 # The daemon logs its actual listen address; wait for it.
@@ -84,5 +84,34 @@ fi
 wait "$pid" && rc=0 || rc=$?
 [[ "$rc" -eq 0 ]] || fail "server exited with status $rc"
 grep -q "bye" "$work/server.log" || fail "clean-shutdown log line missing"
+pid=""
+
+say "warm restart: same snapshot dir, preload flag should be skipped"
+[[ -f "$work/snaps/lki.fsnap" ]] || fail "snapshot file not persisted on register"
+"$work/fairsqgd" -addr 127.0.0.1:0 -workers 2 -queue 8 -snapshot-dir "$work/snaps" \
+    -graph lki="$work/lki.tsv" >"$work/server2.log" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/.*listening on //p' "$work/server2.log" | head -n1)"
+    [[ -n "$addr" ]] && break
+    kill -0 "$pid" 2>/dev/null || { cp "$work/server2.log" "$work/server.log"; fail "restarted server died during startup"; }
+    sleep 0.1
+done
+[[ -n "$addr" ]] || fail "restarted server never reported its address"
+base="http://$addr"
+grep -q "restored 1 graph" "$work/server2.log" || fail "restart did not restore from snapshots"
+grep -q "restored from snapshot, skipping" "$work/server2.log" || fail "-graph preload was not skipped after restore"
+curl -fsS "$base/v1/graphs" | grep -q '"name": *"lki"' || fail "lki missing from restored registry"
+curl -fsS "$base/metrics" | grep -q '"loads": 1' || fail "metrics missing snapshot load counter"
+say "warm restart OK"
+
+say "stopping restarted server"
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$pid" 2>/dev/null && fail "restarted server did not exit after SIGTERM"
 pid=""
 say "PASS"
