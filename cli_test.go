@@ -172,6 +172,7 @@ func TestCLIErrorExitCodes(t *testing.T) {
 	wantExitError(t, "fairsqg unknown -canon", fairsqg, "-dataset", "lki", "-nodes", "500", "-canon", "zzz")
 	wantExitError(t, "fairsqg bad online knobs", fairsqg, "-alg", "online", "-k", "0")
 	wantExitError(t, "fairsqg bad -eps", fairsqg, "-dataset", "lki", "-nodes", "500", "-eps", "-0.5")
+	wantExitError(t, "fairsqg unknown -order", fairsqg, "-dataset", "lki", "-nodes", "500", "-order", "zzz")
 
 	experiments := buildCLI(t, "experiments")
 	wantExitError(t, "experiments stray args", experiments, "stray")
@@ -262,4 +263,5 @@ func TestFairsqgdCLI(t *testing.T) {
 	wantExitError(t, "fairsqgd corrupt snapshot preload", bin, "-graph", "g="+badSnap)
 	wantExitError(t, "fairsqgd stray args", bin, "stray")
 	wantExitError(t, "fairsqgd bad -addr", bin, "-addr", "not-an-address")
+	wantExitError(t, "fairsqgd unknown -order", bin, "-order", "zzz")
 }

@@ -52,6 +52,7 @@ func main() {
 	matchWorkers := flag.Int("match-workers", 0, "per-instance match fan-out: 0/1 sequential, >1 concurrent engine, <0 GOMAXPROCS")
 	candCache := flag.Int("cand-cache", 0, "candidate cache entries: 0 default, <0 disabled")
 	noAttrIndex := flag.Bool("no-attr-index", false, "disable sorted attribute indexes for candidate selection (linear-scan ablation)")
+	order := flag.String("order", "dynamic", "backtracking variable order: dynamic or static (ablation; results identical)")
 	noIncScore := flag.Bool("no-inc-score", false, "disable incremental subset-delta diversity scoring (ablation; results identical)")
 
 	k := flag.Int("k", 10, "online: result size to maintain")
@@ -82,6 +83,10 @@ func main() {
 	}
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+	matchOrder, err := fairsqg.ParseMatchOrder(*order)
+	if err != nil {
+		log.Fatalf("-order: %v", err)
 	}
 
 	g, err := loadGraph(*graphFile, *dataset, *nodes, *seed)
@@ -132,6 +137,7 @@ func main() {
 		G: g, Template: tpl, Groups: set, Eps: *eps, MaxPairs: *maxPairs,
 		Lambda: *lambda, LambdaSet: true,
 		MatchWorkers: *matchWorkers, CandCacheSize: *candCache,
+		Order:            matchOrder,
 		DisableAttrIndex: *noAttrIndex, DisableIncScore: *noIncScore,
 	}
 	if *distAttrs != "" {

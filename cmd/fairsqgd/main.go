@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"fairsqg/internal/match"
 	"fairsqg/internal/server"
 )
 
@@ -66,6 +67,7 @@ func run(args []string, errw *os.File) int {
 		matchWorkers = fs.Int("match-workers", 0, "per-graph match engine fan-out (0 = GOMAXPROCS)")
 		candCache    = fs.Int("cand-cache", 0, "per-graph candidate cache entries (0 default, <0 disable)")
 		noAttrIndex  = fs.Bool("no-attr-index", false, "disable sorted attribute indexes for candidate selection (linear-scan ablation)")
+		orderFlag    = fs.String("order", "dynamic", "backtracking variable order for every graph engine: dynamic or static (ablation; results identical)")
 		noIncScore   = fs.Bool("no-inc-score", false, "disable incremental subset-delta diversity scoring (ablation; results identical)")
 		maxUpload    = fs.Int64("max-upload", 64<<20, "largest accepted graph upload in bytes")
 		snapshotDir  = fs.String("snapshot-dir", "", "persist registered graphs as binary snapshots here and restore them on startup (warm restart)")
@@ -80,6 +82,11 @@ func run(args []string, errw *os.File) int {
 		fmt.Fprintf(errw, "fairsqgd: unexpected arguments: %v\n", fs.Args())
 		return 2
 	}
+	order, err := match.ParseOrder(*orderFlag)
+	if err != nil {
+		fmt.Fprintf(errw, "fairsqgd: -order: %v\n", err)
+		return 2
+	}
 
 	logger := log.New(errw, "fairsqgd ", log.LstdFlags|log.Lmsgprefix)
 	srv := server.New(server.Options{
@@ -92,6 +99,7 @@ func run(args []string, errw *os.File) int {
 		},
 		MatchWorkers:     *matchWorkers,
 		CandCacheSize:    *candCache,
+		Order:            order,
 		DisableAttrIndex: *noAttrIndex,
 		DisableIncScore:  *noIncScore,
 		MaxUploadBytes:   *maxUpload,

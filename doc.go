@@ -62,7 +62,13 @@
 // selection binary-searches the most selective literal's index instead of
 // scanning the label, falling back to the scan for unselective ranges.
 //
-// Three Config knobs control how each instance's answer set is computed;
+// Backtracking itself is selectivity-driven: candidate sets live in
+// dense bitsets propagated to arc consistency before search, nodes are
+// pre-screened by degree and neighborhood-label signatures (rejections
+// counted in Stats.Matcher.SigPruned), and the search assigns the
+// cheapest frontier variable first rather than following template order.
+//
+// Four Config knobs control how each instance's answer set is computed;
 // all leave results bit-identical to the sequential defaults:
 //
 //   - Config.MatchWorkers: 0 or 1 evaluates matches sequentially; a value
@@ -80,6 +86,12 @@
 //     reported in Stats.Matcher.IndexSelections and ScanSelections; a
 //     frozen graph's column and index footprint is available from
 //     Graph.Memory (GraphMemoryStats).
+//   - Config.Order: backtracking variable order. OrderDynamic (the
+//     default) picks the cheapest frontier variable at each step;
+//     OrderStatic follows template order (ablation / escape hatch, also
+//     -order=static on the CLIs). Both orders return identical match
+//     sets; only exploration order — and, under a MaxBacktrackNodes
+//     budget, which prefix gets explored — differs.
 //
 // Diversity scoring is incremental: attribute distance functions compile
 // into per-graph feature tables, pair distances are memoized in a cache

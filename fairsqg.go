@@ -73,6 +73,10 @@ type (
 	MatchEngineStats = match.EngineStats
 	// CacheStats reports candidate-cache hit/miss/eviction counters.
 	CacheStats = match.CacheStats
+	// MatchOrder selects the matcher's backtracking variable-ordering
+	// policy (Config.Order / MatchEngineOptions.Order); results are
+	// identical in both settings.
+	MatchOrder = match.Order
 	// PairCacheStats reports pair-distance cache eval/hit/miss counters
 	// (Stats.DistCache and MatchEngineStats.Dist).
 	PairCacheStats = measure.PairCacheStats
@@ -100,6 +104,18 @@ const (
 
 // Wildcard is the "don't care" binding level.
 const Wildcard = query.Wildcard
+
+// Backtracking variable-ordering policies (MatchOrder values).
+const (
+	// OrderDynamic re-picks the cheapest frontier node at every search
+	// depth from live candidate counts (the default).
+	OrderDynamic = match.OrderDynamic
+	// OrderStatic keeps the per-plan connectivity-first order (ablation).
+	OrderStatic = match.OrderStatic
+)
+
+// ParseMatchOrder parses a -order flag value ("dynamic" or "static").
+var ParseMatchOrder = match.ParseOrder
 
 // Attribute value constructors.
 var (

@@ -46,6 +46,10 @@ type Config struct {
 
 	// Mode selects matching semantics (default Isomorphism).
 	Mode match.Mode
+	// Order selects the matcher's backtracking variable-ordering policy
+	// (default match.OrderDynamic; match.OrderStatic is the ablation knob).
+	// Results are identical in both settings.
+	Order match.Order
 	// ExtraOutputs names additional template nodes whose match sets join
 	// the answer (the paper's multiple-output-nodes extension): the
 	// diversity and coverage objectives are computed over the union of

@@ -63,6 +63,7 @@ func NewRunner(cfg *Config) (*Runner, error) {
 	}
 	m := match.New(cfg.G)
 	m.Mode = cfg.Mode
+	m.Order = cfg.Order
 	m.MaxBacktrackNodes = cfg.MaxBacktrackNodes
 	m.DisableAttrIndex = cfg.DisableAttrIndex
 	if cfg.Ctx != nil {
@@ -172,6 +173,7 @@ func newConfigEngine(cfg *Config) *match.Engine {
 	}
 	return match.NewEngine(cfg.G, match.EngineOptions{
 		Mode:              cfg.Mode,
+		Order:             cfg.Order,
 		MaxBacktrackNodes: cfg.MaxBacktrackNodes,
 		Workers:           cfg.MatchWorkers,
 		CandCacheSize:     cfg.CandCacheSize,
@@ -214,6 +216,7 @@ func (r *Runner) Stats() Stats {
 		s.Matcher.BacktrackNodes += int(es.BacktrackNodes)
 		s.Matcher.IndexSelections += int(es.IndexSelections)
 		s.Matcher.ScanSelections += int(es.ScanSelections)
+		s.Matcher.SigPruned += int(es.SigPruned)
 		s.Cache = es.Cache
 	} else if r.matcher.Cache != nil {
 		s.Cache = r.matcher.Cache.Stats()

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bitsetEqualsOracle compares every observable of the bitset — Get, Count,
+// ForEach order and content — against the map oracle.
+func bitsetEqualsOracle(t *testing.T, b Bitset, oracle map[int]bool) {
+	t.Helper()
+	if b.Count() != len(oracle) {
+		t.Fatalf("Count = %d, oracle has %d", b.Count(), len(oracle))
+	}
+	for i := 0; i < b.Len(); i++ {
+		if b.Get(i) != oracle[i] {
+			t.Fatalf("Get(%d) = %v, oracle %v", i, b.Get(i), oracle[i])
+		}
+	}
+	prev, seen := -1, 0
+	b.ForEach(func(i int) {
+		if i <= prev {
+			t.Fatalf("ForEach not ascending: %d after %d", i, prev)
+		}
+		if !oracle[i] {
+			t.Fatalf("ForEach visited %d, not in oracle", i)
+		}
+		prev = i
+		seen++
+	})
+	if seen != len(oracle) {
+		t.Fatalf("ForEach visited %d positions, oracle has %d", seen, len(oracle))
+	}
+}
+
+// TestBitsetAgainstMapOracle drives random Set/Clear/Get/IntersectWith
+// sequences against a map oracle across many sizes, including the 64-bit
+// word boundaries.
+func TestBitsetAgainstMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4117))
+	sizes := []int{1, 63, 64, 65, 127, 128, 129}
+	for trial := 0; trial < 40; trial++ {
+		n := sizes[trial%len(sizes)] + rng.Intn(100)
+		b := NewBitset(n)
+		oracle := make(map[int]bool)
+		for op := 0; op < 400; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				b.Set(i)
+				oracle[i] = true
+			case 1:
+				b.Clear(i)
+				delete(oracle, i)
+			default:
+				if b.Get(i) != oracle[i] {
+					t.Fatalf("n=%d op=%d: Get(%d) = %v, oracle %v", n, op, i, b.Get(i), oracle[i])
+				}
+			}
+		}
+		bitsetEqualsOracle(t, b, oracle)
+
+		o := NewBitset(n)
+		other := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				o.Set(i)
+				other[i] = true
+			}
+		}
+		b.IntersectWith(o)
+		for i := range oracle {
+			if !other[i] {
+				delete(oracle, i)
+			}
+		}
+		bitsetEqualsOracle(t, b, oracle)
+	}
+}
+
+// TestBitsetEdgeCases pins the contract edges: out-of-range Get reads false
+// (foreign-index probes), out-of-range mutation panics, capacity mismatch
+// panics, Words aliases the storage, and negative capacity clamps to empty.
+func TestBitsetEdgeCases(t *testing.T) {
+	b := NewBitset(70)
+	if b.Len() != 70 {
+		t.Errorf("Len = %d, want 70", b.Len())
+	}
+	if b.Get(-1) || b.Get(70) {
+		t.Error("out-of-range Get must read false")
+	}
+	mustPanic(t, "Set(70)", func() { b.Set(70) })
+	mustPanic(t, "Set(-1)", func() { b.Set(-1) })
+	mustPanic(t, "Clear(70)", func() { b.Clear(70) })
+	mustPanic(t, "Clear(-1)", func() { b.Clear(-1) })
+	mustPanic(t, "IntersectWith mismatch", func() { b.IntersectWith(NewBitset(71)) })
+
+	// Words is aliased storage: writes through it are visible to Get.
+	b.Words()[1] |= 1 << 3 // position 67
+	if !b.Get(67) {
+		t.Error("write through Words not visible to Get")
+	}
+	b.Set(5)
+	if b.Words()[0]&(1<<5) == 0 {
+		t.Error("Set not visible through Words")
+	}
+
+	z := NewBitset(-5)
+	if z.Len() != 0 || z.Count() != 0 {
+		t.Errorf("NewBitset(-5): Len %d Count %d, want empty", z.Len(), z.Count())
+	}
+	z.ForEach(func(int) { t.Error("empty bitset visited a position") })
+}

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // AttrID is an interned attribute name. IDs are dense and assigned in
 // first-use order; the dictionary is per graph.
@@ -62,6 +65,58 @@ func (c *column) bytes() int64 {
 	}
 	b += int64(len(c.vals)) * 32
 	return b
+}
+
+// AppendMatching appends to dst the nodes of base whose attribute a
+// satisfies "value op bound" — node for node exactly op.Apply(AttrValue(v,
+// a), bound), but specialized for uniform numeric columns, where the
+// three-way comparison reduces to two float compares per node instead of a
+// boxed Value round trip (the matcher's literal scan path). Absent values
+// read Null, which Compare orders before every number; NaN values order
+// before every non-NaN number.
+func (g *Graph) AppendMatching(dst, base []NodeID, a AttrID, op Op, bound Value) []NodeID {
+	var minC, maxC int
+	switch op {
+	case OpLT:
+		minC, maxC = -1, -1
+	case OpLE:
+		minC, maxC = -1, 0
+	case OpEQ:
+		minC, maxC = 0, 0
+	case OpGE:
+		minC, maxC = 0, 1
+	case OpGT:
+		minC, maxC = 1, 1
+	default:
+		return dst // OpInvalid matches nothing, as in Op.Apply
+	}
+	if g.frozen && a >= 0 && int(a) < len(g.cols) {
+		if c := &g.cols[a]; c.nums != nil && bound.kind == KindNumber && !math.IsNaN(bound.num) {
+			b := bound.num
+			for _, v := range base {
+				cmp := -1 // Null and NaN both sort below the bound
+				if bitGet(c.present, int(v)) {
+					switch x := c.nums[v]; {
+					case x < b || math.IsNaN(x):
+					case x > b:
+						cmp = 1
+					default:
+						cmp = 0
+					}
+				}
+				if cmp >= minC && cmp <= maxC {
+					dst = append(dst, v)
+				}
+			}
+			return dst
+		}
+	}
+	for _, v := range base {
+		if op.Apply(g.AttrValue(v, a), bound) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
 }
 
 // labelAttr keys the per-(label, attribute) sorted indexes.

@@ -60,6 +60,23 @@ type Graph struct {
 	mem       MemoryStats
 	maxOutDeg int
 	maxInDeg  int
+
+	// Derived tables computed once per frozen graph (by Freeze or by the
+	// snapshot decoder — they are cheap to rebuild, so they are never
+	// serialized): labelPos packs each node's label (high 32 bits) with its
+	// rank inside that label's bucket (low 32 bits), the backing coordinate
+	// for the matcher's label-local candidate bitsets; sigOut/sigIn hold
+	// per-node neighborhood label signatures (bit label&63 set when an
+	// incident edge carries that label), consulted for O(1) structural
+	// candidate pruning; outRunStart/inRunStart (nil on graphs where
+	// nodes×labels exceeds maxRunTableEntries) give every (node, label)
+	// adjacency run in O(1) instead of two binary searches.
+	labelPos    []uint64
+	sigOut      []uint64
+	sigIn       []uint64
+	runStride   int
+	outRunStart []int32
+	inRunStart  []int32
 }
 
 // New returns an empty graph.
@@ -194,7 +211,199 @@ func (g *Graph) Freeze() {
 			g.maxInDeg = len(g.in[i])
 		}
 	}
+	g.buildDerived()
 	g.frozen = true
+}
+
+// buildDerived computes the label-position and neighborhood-signature
+// tables from the frozen layout. Freeze calls it after sorting adjacency;
+// the snapshot decoder calls it after restoring the frozen sections, so a
+// restored graph carries identical tables without serializing them.
+func (g *Graph) buildDerived() {
+	g.labelPos = make([]uint64, len(g.nodes))
+	for label, nodes := range g.byLabel {
+		for i, v := range nodes {
+			g.labelPos[v] = PackLabelPos(label, int32(i))
+		}
+	}
+	g.sigOut = make([]uint64, len(g.nodes))
+	g.sigIn = make([]uint64, len(g.nodes))
+	for v := range g.out {
+		for _, e := range g.out[v] {
+			g.sigOut[v] |= LabelSigBit(e.Label)
+		}
+		for _, e := range g.in[v] {
+			g.sigIn[v] |= LabelSigBit(e.Label)
+		}
+	}
+	g.buildRunTables()
+}
+
+// maxRunTableEntries caps the dense (node × label) run-boundary tables at
+// 32 MiB apiece; graphs beyond the cap keep the binary-search EdgeRun path.
+const maxRunTableEntries = 1 << 23
+
+// buildRunTables precomputes, for every (node, label) pair, where the
+// label's run starts inside the node's sorted adjacency: run(v, l) =
+// es[start[v*stride+l]:start[v*stride+l+1]]. One extra column per node
+// holds the terminating boundary.
+func (g *Graph) buildRunTables() {
+	g.runStride, g.outRunStart, g.inRunStart = 0, nil, nil
+	stride := len(g.labels) + 1
+	if len(g.nodes) == 0 || len(g.nodes)*stride > maxRunTableEntries {
+		return
+	}
+	g.runStride = stride
+	g.outRunStart = buildRunStarts(g.out, stride)
+	g.inRunStart = buildRunStarts(g.in, stride)
+}
+
+func buildRunStarts(adj [][]Edge, stride int) []int32 {
+	starts := make([]int32, len(adj)*stride)
+	for v, es := range adj {
+		base := v * stride
+		pos := 0
+		for l := 0; l < stride-1; l++ {
+			starts[base+l] = int32(pos)
+			for pos < len(es) && int(es[pos].Label) == l {
+				pos++
+			}
+		}
+		starts[base+stride-1] = int32(len(es))
+	}
+	return starts
+}
+
+// LabelSigBit returns the signature bit an edge label hashes to. The
+// signature is a 64-bit Bloom filter with one hash: a clear bit proves the
+// label absent, a set bit is inconclusive (labels collide modulo 64).
+func LabelSigBit(l LabelID) uint64 { return 1 << (uint(l) & 63) }
+
+// OutSignature returns node v's out-edge label signature: for every
+// out-edge label l of v, the LabelSigBit(l) bit is set. Matcher hot path:
+// valid only on frozen graphs.
+func (g *Graph) OutSignature(v NodeID) uint64 { return g.sigOut[v] }
+
+// InSignature is OutSignature over v's in-edges.
+func (g *Graph) InSignature(v NodeID) uint64 { return g.sigIn[v] }
+
+// PackLabelPos packs a node's label (high 32 bits) with its label-bucket
+// rank (low 32 bits) — the layout PackedLabelPos reads back.
+func PackLabelPos(l LabelID, pos int32) uint64 {
+	return uint64(uint32(l))<<32 | uint64(uint32(pos))
+}
+
+// PackedLabelPos returns PackLabelPos(label of v, LabelPos(v)) in a single
+// load — the matcher's membership probe resolves label equality and bitset
+// position from it without touching the node records. Matcher hot path:
+// valid only on frozen graphs.
+func (g *Graph) PackedLabelPos(v NodeID) uint64 { return g.labelPos[v] }
+
+// LabelPos returns v's rank within its label bucket: NodesByLabel of v's
+// label lists v at exactly this index. Together with NodesByLabelID it
+// defines the label-local coordinate space the matcher's candidate bitsets
+// are indexed by.
+func (g *Graph) LabelPos(v NodeID) int32 {
+	g.mustFrozen("LabelPos")
+	return int32(uint32(g.labelPos[v]))
+}
+
+// NodesByLabelID is NodesByLabel for an already-interned label. The slice
+// is shared; callers must not mutate it.
+func (g *Graph) NodesByLabelID(id LabelID) []NodeID {
+	g.mustFrozen("NodesByLabelID")
+	return g.byLabel[id]
+}
+
+// EdgeRun returns the contiguous run of v's out-edges (or in-edges when
+// outgoing is false) carrying the given label. Frozen adjacency is sorted
+// by (label, endpoint), so the run is located with two binary searches and
+// its endpoints are in ascending NodeID order. The slice is shared; callers
+// must not mutate it.
+// Matcher hot path: valid only on frozen graphs.
+func (g *Graph) EdgeRun(v NodeID, label LabelID, outgoing bool) []Edge {
+	if outgoing {
+		return edgeRun(g.out[v], g.outRunStart, g.runStride, v, label)
+	}
+	return edgeRun(g.in[v], g.inRunStart, g.runStride, v, label)
+}
+
+// Adjacency exposes the frozen adjacency lists (out when outgoing, in
+// otherwise), indexed by NodeID and sorted by (label, endpoint). Shared,
+// read-only: the matcher captures them once so its inner loops run on
+// direct slice indexing instead of per-edge accessor calls.
+func (g *Graph) Adjacency(outgoing bool) [][]Edge {
+	g.mustFrozen("Adjacency")
+	if outgoing {
+		return g.out
+	}
+	return g.in
+}
+
+// RunStarts exposes the dense run-boundary table for one direction along
+// with its stride: run (v, l) spans starts[v*stride+l:v*stride+l+1] of the
+// node's adjacency. starts is nil on graphs past maxRunTableEntries —
+// callers must fall back to EdgeRun. Shared, read-only.
+func (g *Graph) RunStarts(outgoing bool) (starts []int32, stride int) {
+	g.mustFrozen("RunStarts")
+	if outgoing {
+		return g.outRunStart, g.runStride
+	}
+	return g.inRunStart, g.runStride
+}
+
+// LabelPosTable exposes the packed label+rank table (see PackedLabelPos),
+// indexed by NodeID. Shared, read-only.
+func (g *Graph) LabelPosTable() []uint64 {
+	g.mustFrozen("LabelPosTable")
+	return g.labelPos
+}
+
+// SignatureTables exposes the out- and in-edge label signature tables (see
+// OutSignature), indexed by NodeID. Shared, read-only.
+func (g *Graph) SignatureTables() (sigOut, sigIn []uint64) {
+	g.mustFrozen("SignatureTables")
+	return g.sigOut, g.sigIn
+}
+
+func edgeRun(es []Edge, starts []int32, stride int, v NodeID, label LabelID) []Edge {
+	if starts == nil {
+		return edgeRunSearch(es, label)
+	}
+	if uint32(label) >= uint32(stride-1) {
+		return nil
+	}
+	base := int(v) * stride
+	return es[starts[base+int(label)]:starts[base+int(label)+1]]
+}
+
+// edgeRunSearch is the binary-search fallback for graphs too large for the
+// dense run tables.
+func edgeRunSearch(es []Edge, label LabelID) []Edge {
+	lo := sort.Search(len(es), func(i int) bool { return es[i].Label >= label })
+	hi := lo + sort.Search(len(es)-lo, func(i int) bool { return es[lo+i].Label > label })
+	return es[lo:hi]
+}
+
+// RunLen is len(EdgeRun(v, label, outgoing)) without materializing the
+// slice — the matcher's ordering heuristic reads run lengths far more
+// often than run contents.
+func (g *Graph) RunLen(v NodeID, label LabelID, outgoing bool) int {
+	starts := g.outRunStart
+	if !outgoing {
+		starts = g.inRunStart
+	}
+	if starts == nil || uint32(label) >= uint32(g.runStride-1) {
+		return len(g.EdgeRun(v, label, outgoing))
+	}
+	base := int(v) * g.runStride
+	return int(starts[base+int(label)+1] - starts[base+int(label)])
+}
+
+// LabelDegree counts v's out- (or in-) edges carrying the given label;
+// parallel edges each count once.
+func (g *Graph) LabelDegree(v NodeID, label LabelID, outgoing bool) int {
+	return len(g.EdgeRun(v, label, outgoing))
 }
 
 func sortEdges(es []Edge) {

@@ -593,6 +593,10 @@ func (d *snapDecoder) decode() (*Graph, error) {
 	g.attrNames = make([]string, len(g.attrTable))
 	copy(g.attrNames, g.attrTable)
 	sort.Strings(g.attrNames)
+	// The label-position and neighborhood-signature tables are derived, not
+	// serialized: rebuilding them from the restored adjacency keeps the
+	// snapshot format stable and costs one linear pass.
+	g.buildDerived()
 	return g, nil
 }
 

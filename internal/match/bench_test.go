@@ -97,31 +97,45 @@ func BenchmarkEngineWorkload(b *testing.B) {
 	for _, in := range allInstantiations(tpl) {
 		qs = append(qs, query.MustInstance(tpl, in))
 	}
-	b.Run("sequential", func(b *testing.B) {
-		m := New(g)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			for _, q := range qs {
-				m.EvalOutput(q)
-			}
+	for _, order := range []Order{OrderDynamic, OrderStatic} {
+		name := "sequential"
+		if order == OrderStatic {
+			name += "/order=static"
 		}
-	})
-	for _, c := range []struct {
-		workers, cache int
-	}{{1, -1}, {1, 0}, {4, -1}, {4, 0}} {
-		name := fmt.Sprintf("engine/workers=%d/cache=%v", c.workers, c.cache >= 0)
+		order := order
 		b.Run(name, func(b *testing.B) {
-			e := NewEngine(g, EngineOptions{Workers: c.workers, CandCacheSize: c.cache})
-			ctx := context.Background()
+			m := New(g)
+			m.Order = order
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, q := range qs {
-					if _, err := e.ParEvalOutput(ctx, q); err != nil {
-						b.Fatal(err)
-					}
+					m.EvalOutput(q)
 				}
 			}
 		})
+	}
+	for _, c := range []struct {
+		workers, cache int
+	}{{1, -1}, {1, 0}, {4, -1}, {4, 0}} {
+		for _, order := range []Order{OrderDynamic, OrderStatic} {
+			name := fmt.Sprintf("engine/workers=%d/cache=%v", c.workers, c.cache >= 0)
+			if order == OrderStatic {
+				name += "/order=static"
+			}
+			c, order := c, order
+			b.Run(name, func(b *testing.B) {
+				e := NewEngine(g, EngineOptions{Workers: c.workers, CandCacheSize: c.cache, Order: order})
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, q := range qs {
+						if _, err := e.ParEvalOutput(ctx, q); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -19,26 +19,30 @@ const differentialSeed = 7321
 // engineMatrix enumerates the engine configurations the differential suite
 // checks against the sequential reference: workers 1, 4 and GOMAXPROCS,
 // each with the candidate cache on and off, each with the sorted attribute
-// indexes on and off.
+// indexes on and off, each under dynamic and static backtracking order.
 func engineMatrix(g *graph.Graph, mode Mode) map[string]*Engine {
 	workerSet := []int{1, 4, runtime.GOMAXPROCS(0)}
 	m := make(map[string]*Engine)
 	for _, w := range workerSet {
 		for _, cacheSize := range []int{0, -1} {
 			for _, noIndex := range []bool{false, true} {
-				name := "workers=" + strconv.Itoa(w) + "/cache=on"
-				if cacheSize < 0 {
-					name = "workers=" + strconv.Itoa(w) + "/cache=off"
+				for _, order := range []Order{OrderDynamic, OrderStatic} {
+					name := "workers=" + strconv.Itoa(w) + "/cache=on"
+					if cacheSize < 0 {
+						name = "workers=" + strconv.Itoa(w) + "/cache=off"
+					}
+					if noIndex {
+						name += "/index=off"
+					}
+					name += "/order=" + order.String()
+					if _, dup := m[name]; dup {
+						continue // GOMAXPROCS may coincide with 1 or 4
+					}
+					m[name] = NewEngine(g, EngineOptions{
+						Mode: mode, Workers: w, CandCacheSize: cacheSize,
+						DisableAttrIndex: noIndex, Order: order,
+					})
 				}
-				if noIndex {
-					name += "/index=off"
-				}
-				if _, dup := m[name]; dup {
-					continue // GOMAXPROCS may coincide with 1 or 4
-				}
-				m[name] = NewEngine(g, EngineOptions{
-					Mode: mode, Workers: w, CandCacheSize: cacheSize, DisableAttrIndex: noIndex,
-				})
 			}
 		}
 	}
@@ -46,12 +50,29 @@ func engineMatrix(g *graph.Graph, mode Mode) map[string]*Engine {
 }
 
 // checkDifferential asserts every engine configuration reproduces the
-// sequential matcher's result for one instance.
+// sequential matcher's result for one instance, that the static-order
+// sequential matcher agrees with the dynamic one, and that both orders
+// drive the candidate-selection access paths identically (selection happens
+// before ordering, so the Index/ScanSelections counters must not depend on
+// the order knob).
 func checkDifferential(t *testing.T, g *graph.Graph, q *query.Instance, mode Mode, engines map[string]*Engine) {
 	t.Helper()
 	m := New(g)
 	m.Mode = mode
 	want := m.EvalOutput(q)
+	ms := New(g)
+	ms.Mode = mode
+	ms.Order = OrderStatic
+	if got := ms.EvalOutput(q); !reflect.DeepEqual(got, want) {
+		t.Errorf("seed %d: %s: static order diverged:\nstatic  %v\ndynamic %v",
+			differentialSeed, q, got, want)
+	}
+	if ms.Stats.IndexSelections != m.Stats.IndexSelections ||
+		ms.Stats.ScanSelections != m.Stats.ScanSelections {
+		t.Errorf("seed %d: %s: selection counters depend on order: static index=%d scan=%d, dynamic index=%d scan=%d",
+			differentialSeed, q, ms.Stats.IndexSelections, ms.Stats.ScanSelections,
+			m.Stats.IndexSelections, m.Stats.ScanSelections)
+	}
 	for name, e := range engines {
 		got, err := e.ParEvalOutput(context.Background(), q)
 		if err != nil {

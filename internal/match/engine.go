@@ -23,6 +23,10 @@ type EngineOptions struct {
 	// CandCacheSize bounds the shared candidate cache: 0 selects
 	// DefaultCandCacheSize, a negative value disables caching entirely.
 	CandCacheSize int
+	// Order selects the backtracking variable-ordering policy for pooled
+	// matchers (default OrderDynamic; see Order). Results are identical in
+	// both settings.
+	Order Order
 	// DisableAttrIndex forces pooled matchers onto the linear-scan
 	// reference path for candidate selection (see Matcher.DisableAttrIndex).
 	DisableAttrIndex bool
@@ -47,6 +51,9 @@ type EngineStats struct {
 	// access-path counters (see Stats).
 	IndexSelections int64
 	ScanSelections  int64
+	// SigPruned sums the pooled matchers' degree/signature pruning counter
+	// (see Stats.SigPruned).
+	SigPruned int64
 	// Cache reports candidate-cache effectiveness; zero when disabled.
 	Cache CacheStats
 	// Dist reports pair-distance cache effectiveness; zero when disabled.
@@ -66,6 +73,7 @@ type EngineStats struct {
 type Engine struct {
 	g                 *graph.Graph
 	mode              Mode
+	order             Order
 	maxBacktrackNodes int
 	workers           int
 	cache             *CandidateCache
@@ -79,6 +87,7 @@ type Engine struct {
 	backtrackNodes    atomic.Int64
 	indexSelections   atomic.Int64
 	scanSelections    atomic.Int64
+	sigPruned         atomic.Int64
 }
 
 // NewEngine returns an engine over a frozen graph.
@@ -101,6 +110,7 @@ func NewEngine(g *graph.Graph, opts EngineOptions) *Engine {
 	e := &Engine{
 		g:                 g,
 		mode:              opts.Mode,
+		order:             opts.Order,
 		maxBacktrackNodes: opts.MaxBacktrackNodes,
 		workers:           workers,
 		cache:             cache,
@@ -110,6 +120,7 @@ func NewEngine(g *graph.Graph, opts EngineOptions) *Engine {
 	e.pool.New = func() any {
 		m := New(g)
 		m.Mode = e.mode
+		m.Order = e.order
 		m.MaxBacktrackNodes = e.maxBacktrackNodes
 		m.Cache = e.cache
 		m.DisableAttrIndex = e.disableAttrIndex
@@ -146,6 +157,7 @@ func (e *Engine) Stats() EngineStats {
 		BacktrackNodes:    e.backtrackNodes.Load(),
 		IndexSelections:   e.indexSelections.Load(),
 		ScanSelections:    e.scanSelections.Load(),
+		SigPruned:         e.sigPruned.Load(),
 	}
 	if e.cache != nil {
 		s.Cache = e.cache.Stats()
@@ -167,6 +179,7 @@ func (e *Engine) release(m *Matcher) {
 	e.backtrackNodes.Add(int64(m.Stats.BacktrackNodes))
 	e.indexSelections.Add(int64(m.Stats.IndexSelections))
 	e.scanSelections.Add(int64(m.Stats.ScanSelections))
+	e.sigPruned.Add(int64(m.Stats.SigPruned))
 	m.Stats = Stats{}
 	m.bindContext(nil)
 	e.pool.Put(m)

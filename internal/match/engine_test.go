@@ -107,6 +107,13 @@ func TestParEvalCancellation(t *testing.T) {
 	if _, err := e.ParEvalOutput(ctx, q); err != context.Canceled {
 		t.Fatalf("cancelled eval returned err=%v, want context.Canceled", err)
 	}
+	// The abort is prompt: each of the 4 worker matchers expands at most one
+	// polling window of search nodes before unwinding — the counter is
+	// incremented only after the abort check, so the unwinding frames and
+	// the untried candidates add nothing.
+	if bt := e.Stats().BacktrackNodes; bt > int64(4*(cancelCheckMask+1)) {
+		t.Errorf("pre-cancelled eval expanded %d nodes, want <= %d", bt, 4*(cancelCheckMask+1))
+	}
 	// The engine stays usable after an aborted evaluation.
 	m := New(g)
 	want := m.EvalOutput(q)

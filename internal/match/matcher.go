@@ -8,6 +8,8 @@ package match
 
 import (
 	"context"
+	"fmt"
+	"math/bits"
 	"sort"
 
 	"fairsqg/internal/graph"
@@ -24,6 +26,40 @@ const (
 	Homomorphism
 )
 
+// Order selects the backtracking variable-ordering policy.
+type Order uint8
+
+const (
+	// OrderDynamic (the default) picks the next query node at every search
+	// depth: the cheapest frontier node by live candidate supply — the
+	// smaller of its filtered candidate count and the shortest adjacency
+	// run from an already-assigned neighbor.
+	OrderDynamic Order = iota
+	// OrderStatic keeps the connectivity-first order fixed per plan (the
+	// pre-dynamic reference policy, retained as an ablation knob). Results
+	// are identical in both settings; only the exploration order changes.
+	OrderStatic
+)
+
+// String renders the order knob the way the -order CLI flag spells it.
+func (o Order) String() string {
+	if o == OrderStatic {
+		return "static"
+	}
+	return "dynamic"
+}
+
+// ParseOrder parses the -order flag value.
+func ParseOrder(s string) (Order, error) {
+	switch s {
+	case "dynamic":
+		return OrderDynamic, nil
+	case "static":
+		return OrderStatic, nil
+	}
+	return OrderDynamic, fmt.Errorf("match: unknown order %q (want static or dynamic)", s)
+}
+
 // Stats counts work done by the matcher; cumulative across calls.
 type Stats struct {
 	// Evals is the number of instance evaluations performed.
@@ -38,6 +74,9 @@ type Stats struct {
 	// range is selective enough).
 	IndexSelections int
 	ScanSelections  int
+	// SigPruned counts candidates rejected by the degree and
+	// neighborhood-label-signature check before entering a candidate set.
+	SigPruned int
 }
 
 // Matcher evaluates query instances against one frozen graph.
@@ -50,6 +89,10 @@ type Stats struct {
 type Matcher struct {
 	G    *graph.Graph
 	Mode Mode
+	// Order selects the backtracking variable-ordering policy (default
+	// OrderDynamic); see Order. With an unbounded budget the two policies
+	// return identical results.
+	Order Order
 	// MaxBacktrackNodes bounds the search tree expanded per output-node
 	// candidate; 0 means unbounded. When the bound trips the candidate is
 	// conservatively reported as a non-match.
@@ -72,8 +115,38 @@ type Matcher struct {
 	// result is a conservative partial answer and must be discarded.
 	aborted bool
 
-	// scratch reused across evaluations
-	used map[graph.NodeID]bool
+	// Backtracking scratch reused across evaluations: used is an
+	// isomorphism-injectivity bitset over all of V, assign the current
+	// partial matching indexed by plan node, nodesLeft/exhausted the
+	// explicit search budget (exhausted distinguishes "budget spent" from
+	// the MaxBacktrackNodes == 0 "unbounded" zero).
+	used      []uint64
+	assign    []graph.NodeID
+	nodesLeft int
+	exhausted bool
+	// assignedMask mirrors assign as a bitmask over plan indexes, and
+	// reachMask is the union of adjMask over the assigned prefix, so
+	// reachMask &^ assignedMask is exactly the frontier pickNext chooses
+	// from — no per-node scan. Both are maintained only while adjMask is
+	// non-nil (plans of ≤ 64 nodes); larger plans fall back to the scan.
+	assignedMask uint64
+	reachMask    uint64
+	// scratch is the propagation semijoin mask, reused across arcs.
+	scratch []uint64
+	// dirtyPrev/dirtyNext drive the propagation worklist.
+	dirtyPrev, dirtyNext []bool
+
+	// Frozen-graph tables captured at New (shared, read-only). The inner
+	// loops index them directly so the compiler keeps them register- and
+	// inline-friendly: outAdj/inAdj are the sorted adjacency lists,
+	// outRuns/inRuns the run-boundary tables (nil past the graph's size
+	// cap, in which case Graph.EdgeRun is the fallback), labelPos the
+	// packed label+rank table, sigOut/sigIn the neighborhood signatures.
+	outAdj, inAdj   [][]graph.Edge
+	outRuns, inRuns []int32
+	runStride       int
+	labelPos        []uint64
+	sigOut, sigIn   []uint64
 }
 
 // New returns a Matcher over a frozen graph with isomorphism semantics.
@@ -81,19 +154,54 @@ func New(g *graph.Graph) *Matcher {
 	if !g.Frozen() {
 		panic("match: graph must be frozen")
 	}
-	return &Matcher{G: g, used: make(map[graph.NodeID]bool)}
+	m := &Matcher{G: g, used: make([]uint64, (g.NumNodes()+63)/64)}
+	m.outAdj, m.inAdj = g.Adjacency(true), g.Adjacency(false)
+	m.outRuns, m.runStride = g.RunStarts(true)
+	m.inRuns, _ = g.RunStarts(false)
+	m.labelPos = g.LabelPosTable()
+	m.sigOut, m.sigIn = g.SignatureTables()
+	return m
 }
+
+// runLen is len(EdgeRun(v, label, outgoing)) via the boundary tables.
+func (m *Matcher) runLen(v graph.NodeID, label graph.LabelID, outgoing bool) int {
+	starts := m.outRuns
+	if !outgoing {
+		starts = m.inRuns
+	}
+	if starts == nil {
+		return len(m.G.EdgeRun(v, label, outgoing))
+	}
+	b := int(v)*m.runStride + int(label)
+	return int(starts[b+1] - starts[b])
+}
+
+func (m *Matcher) usedGet(v graph.NodeID) bool { return m.used[v>>6]&(1<<uint(v&63)) != 0 }
+func (m *Matcher) usedSet(v graph.NodeID)      { m.used[v>>6] |= 1 << uint(v&63) }
+func (m *Matcher) usedClear(v graph.NodeID)    { m.used[v>>6] &^= 1 << uint(v&63) }
 
 // plan is the per-instance evaluation plan: active structure, candidate
 // sets and a matching order rooted at the output node.
 type plan struct {
-	q         *query.Instance
-	nodes     []int        // active template nodes
-	nodePos   map[int]int  // template node -> index in nodes
-	adj       [][]planEdge // per active-node adjacency over active edges
-	order     []int        // matching order (indices into nodes), order[0] = output
-	cands     [][]graph.NodeID
-	candSet   []map[graph.NodeID]bool
+	q       *query.Instance
+	nodes   []int // active template nodes
+	nodePos []int // template node -> index in nodes (-1 when inactive)
+	rootIdx int   // index (into nodes) of the pinned node
+	adj     [][]planEdge
+	// adjMask is a neighbor bitmask per node (bit j set when some active
+	// edge joins nodes i and j) and fullMask has one bit per plan node,
+	// valid for plans of ≤ 64 nodes (adjMask is nil beyond that); pickNext
+	// derives the search frontier from them and the matcher's assignedMask
+	// without scanning nodes or edge lists.
+	adjMask  []uint64
+	fullMask uint64
+	order    []int // static matching order (OrderStatic), order[0] = rootIdx
+	cands    [][]graph.NodeID
+	// candBits mirrors cands as dense bitsets over label-local positions
+	// (graph.LabelPos); nil for nodes without constraint edges, which never
+	// need membership tests.
+	candBits  []graph.Bitset
+	labels    []graph.LabelID // per plan node: interned node label
 	edgeCount int
 }
 
@@ -102,6 +210,14 @@ type planEdge struct {
 	other    int // index into plan.nodes
 	label    graph.LabelID
 	outgoing bool // true when the edge leaves this node
+}
+
+// inSet reports whether v is in plan node i's candidate set: the label must
+// match (bitset positions are label-local) and the bit at v's label rank
+// must be set. The packed label+rank table resolves both in one load.
+func (m *Matcher) inSet(p *plan, i int, v graph.NodeID) bool {
+	lp := m.labelPos[v]
+	return graph.LabelID(lp>>32) == p.labels[i] && p.candBits[i].Get(int(uint32(lp)))
 }
 
 // EvalOutput computes q(G) = q(u_o, G): the distinct graph nodes the output
@@ -153,8 +269,7 @@ func (m *Matcher) EvalNodeFiltered(q *query.Instance, node int, within []graph.N
 	if p == nil {
 		return nil, true
 	}
-	rootIdx := p.nodePos[node]
-	rootCands := p.cands[rootIdx]
+	rootCands := p.cands[p.rootIdx]
 	if accept != nil && !accept(rootCands) {
 		return nil, false
 	}
@@ -163,7 +278,7 @@ func (m *Matcher) EvalNodeFiltered(q *query.Instance, node int, within []graph.N
 		// match.
 		res := make([]graph.NodeID, len(rootCands))
 		copy(res, rootCands)
-		sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+		sortIDs(res)
 		return res, true
 	}
 	var result []graph.NodeID
@@ -173,21 +288,34 @@ func (m *Matcher) EvalNodeFiltered(q *query.Instance, node int, within []graph.N
 			result = append(result, v)
 		}
 	}
-	sort.Slice(result, func(i, j int) bool { return result[i] < result[j] })
+	// rootCands is ascending, so the appends usually are too; sortIDs is a
+	// linear verification with a sort fallback for unsorted within-sets.
+	sortIDs(result)
 	return result, true
 }
 
-// buildPlan computes candidate sets with label/literal filtering plus
-// arc-consistency pruning, and a connectivity-first matching order rooted
-// at pin (the node whose matches are being computed). It returns nil when
-// some active node has no candidates (empty q(G)).
+// buildPlan computes candidate sets with label/literal filtering, degree
+// and neighborhood-signature pruning, and arc-consistency propagation over
+// label-local bitsets, plus a static connectivity-first matching order
+// rooted at pin (the node whose matches are being computed). It returns nil
+// when some active node has no candidates (empty q(G)).
 func (m *Matcher) buildPlan(q *query.Instance, pin int, within []graph.NodeID) *plan {
 	t := q.T
-	p := &plan{q: q, nodes: q.ActiveNodes(), nodePos: make(map[int]int)}
+	p := &plan{q: q, nodes: q.ActiveNodes(), nodePos: make([]int, len(t.Nodes))}
+	for i := range p.nodePos {
+		p.nodePos[i] = -1
+	}
 	for i, ni := range p.nodes {
 		p.nodePos[ni] = i
 	}
 	p.adj = make([][]planEdge, len(p.nodes))
+	if n := len(p.nodes); n <= 64 {
+		p.adjMask = make([]uint64, n)
+		p.fullMask = ^uint64(0)
+		if n < 64 {
+			p.fullMask = 1<<uint(n) - 1
+		}
+	}
 	for _, ei := range q.ActiveEdges() {
 		e := &t.Edges[ei]
 		fi, ti := p.nodePos[e.From], p.nodePos[e.To]
@@ -198,18 +326,24 @@ func (m *Matcher) buildPlan(q *query.Instance, pin int, within []graph.NodeID) *
 		}
 		p.adj[fi] = append(p.adj[fi], planEdge{other: ti, label: label, outgoing: true})
 		p.adj[ti] = append(p.adj[ti], planEdge{other: fi, label: label, outgoing: false})
+		if p.adjMask != nil {
+			p.adjMask[fi] |= 1 << uint(ti)
+			p.adjMask[ti] |= 1 << uint(fi)
+		}
 		p.edgeCount++
 	}
+	p.labels = make([]graph.LabelID, len(p.nodes))
 	p.cands = make([][]graph.NodeID, len(p.nodes))
-	p.candSet = make([]map[graph.NodeID]bool, len(p.nodes))
-	pinIdx := p.nodePos[pin]
+	p.candBits = make([]graph.Bitset, len(p.nodes))
+	p.rootIdx = p.nodePos[pin]
 	for i, ni := range p.nodes {
+		p.labels[i] = m.G.LookupLabel(t.Nodes[ni].Label)
 		lits := q.CompiledLiterals(m.G, ni)
 		var cands []graph.NodeID
-		if i == pinIdx && within != nil {
+		if i == p.rootIdx && within != nil {
 			cands = make([]graph.NodeID, 0, len(within))
 			for _, v := range within {
-				if m.G.Label(v) != t.Nodes[ni].Label {
+				if m.G.NodeLabelID(v) != p.labels[i] {
 					continue
 				}
 				if nodeSatisfies(m.G, v, lits) {
@@ -219,16 +353,133 @@ func (m *Matcher) buildPlan(q *query.Instance, pin int, within []graph.NodeID) *
 		} else {
 			cands = m.filteredCandidates(t.Nodes[ni].Label, lits)
 		}
+		if len(p.adj[i]) > 0 {
+			cands = m.structurePrune(p, i, cands)
+		}
 		if len(cands) == 0 {
 			return nil
 		}
 		p.cands[i] = cands
 	}
+	for i := range p.nodes {
+		// Only nodes referenced by a constraint edge need the set form;
+		// skipping the rest keeps single-node plans bitset-free.
+		if len(p.adj[i]) == 0 {
+			continue
+		}
+		bits := graph.NewBitset(len(m.G.NodesByLabelID(p.labels[i])))
+		for _, v := range p.cands[i] {
+			bits.Set(int(m.G.LabelPos(v)))
+		}
+		p.candBits[i] = bits
+	}
 	if !m.propagate(p) {
 		return nil
 	}
-	p.order = matchingOrder(p, pinIdx)
+	p.order = matchingOrder(p, p.rootIdx)
 	return p
+}
+
+// nodeReq is the structural requirement profile of one plan node: the
+// signature bits its candidates must carry and, per (label, direction), the
+// minimum incident-edge count an embedding needs.
+type nodeReq struct {
+	sigOut, sigIn uint64
+	counts        []labelCount
+}
+
+// labelCount is one (label, direction) requirement with the minimum number
+// of graph edges a candidate must offer.
+type labelCount struct {
+	label    graph.LabelID
+	outgoing bool
+	need     int
+}
+
+// structureReq derives plan node i's requirement from its incident active
+// edges. Under isomorphism, k distinct template neighbors over one (label,
+// direction) map to k distinct graph neighbors, each contributing at least
+// one edge, so a candidate needs ≥ k edges in that run; under homomorphism
+// neighbors may coincide, so one edge suffices (the signature bit covers
+// it). Adjacency lists are template-sized, so the quadratic scans are a
+// handful of comparisons.
+func (m *Matcher) structureReq(p *plan, i int) nodeReq {
+	var req nodeReq
+	adj := p.adj[i]
+	for ei, pe := range adj {
+		bit := graph.LabelSigBit(pe.label)
+		if pe.outgoing {
+			req.sigOut |= bit
+		} else {
+			req.sigIn |= bit
+		}
+		// Emit one count per (label, direction): skip if an earlier edge
+		// already covered this pair.
+		dup := false
+		for _, oe := range adj[:ei] {
+			if oe.label == pe.label && oe.outgoing == pe.outgoing {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		need := 1
+		if m.Mode == Isomorphism {
+			need = 0
+			for oi, oe := range adj {
+				if oe.label != pe.label || oe.outgoing != pe.outgoing {
+					continue
+				}
+				first := true
+				for _, ee := range adj[:oi] {
+					if ee.label == pe.label && ee.outgoing == pe.outgoing && ee.other == oe.other {
+						first = false
+						break
+					}
+				}
+				if first {
+					need++
+				}
+			}
+		}
+		req.counts = append(req.counts, labelCount{label: pe.label, outgoing: pe.outgoing, need: need})
+	}
+	return req
+}
+
+// structurePrune drops candidates that provably cannot embed: a required
+// signature bit missing from the node's neighborhood proves a needed edge
+// label absent (the signature is one-sided — set bits are inconclusive),
+// and an edge count below the isomorphism-distinct-neighbor requirement
+// proves an injective assignment impossible. Pruned candidates are counted
+// in Stats.SigPruned; results never change (propagate and the backtracking
+// search would reject the same candidates later, at higher cost).
+func (m *Matcher) structurePrune(p *plan, i int, cands []graph.NodeID) []graph.NodeID {
+	req := m.structureReq(p, i)
+	kept := cands[:0]
+	for _, v := range cands {
+		if m.structureAdmits(req, v) {
+			kept = append(kept, v)
+		} else {
+			m.Stats.SigPruned++
+		}
+	}
+	return kept
+}
+
+// structureAdmits reports whether v passes node requirement req.
+func (m *Matcher) structureAdmits(req nodeReq, v graph.NodeID) bool {
+	if req.sigOut&^m.sigOut[v] != 0 || req.sigIn&^m.sigIn[v] != 0 {
+		return false
+	}
+	for _, c := range req.counts {
+		if c.need > 1 && m.runLen(v, c.label, c.outgoing) < c.need {
+			return false
+		}
+	}
+	return true
 }
 
 // filteredCandidates returns the label's nodes filtered by lits, consulting
@@ -267,6 +518,14 @@ const indexScanCutoff = 4
 // ascending NodeID order.
 func (m *Matcher) selectCandidates(label string, lits []query.CompiledLiteral) []graph.NodeID {
 	base := m.G.NodesByLabel(label)
+	if len(lits) == 0 {
+		// Unconstrained node: the scan degenerates to a copy of the label
+		// bucket (the counter still records it as a scan selection).
+		m.Stats.ScanSelections++
+		out := make([]graph.NodeID, len(base))
+		copy(out, base)
+		return out
+	}
 	if !m.DisableAttrIndex && len(lits) > 0 && len(base) > 0 {
 		if cands, ok := m.indexCandidates(base, label, lits); ok {
 			m.Stats.IndexSelections++
@@ -275,6 +534,10 @@ func (m *Matcher) selectCandidates(label string, lits []query.CompiledLiteral) [
 	}
 	m.Stats.ScanSelections++
 	cands := make([]graph.NodeID, 0, len(base))
+	if len(lits) == 1 {
+		// Single-literal scans take the column-specialized compare.
+		return m.G.AppendMatching(cands, base, lits[0].ID, lits[0].Op, lits[0].Value)
+	}
 	for _, v := range base {
 		if nodeSatisfies(m.G, v, lits) {
 			cands = append(cands, v)
@@ -349,71 +612,159 @@ func nodeSatisfies(g *graph.Graph, v graph.NodeID, lits []query.CompiledLiteral)
 	return true
 }
 
-// propagate runs arc-consistency over candidate sets: a candidate of u
-// survives only if every incident active edge can be matched by some
-// candidate of the neighbor. Iterates to fixpoint. Returns false when a
-// candidate set empties.
+// propagate runs arc-consistency over the candidate bitsets: a candidate
+// of u survives only if every incident active edge can be matched by some
+// candidate of the neighbor. Each arc is revised by a reverse semijoin —
+// the neighbor's candidates mark their adjacency-run endpoints in a
+// scratch mask, then u's bitset is intersected against it word-at-a-time —
+// so a whole candidate set is pruned at the cost of scanning the
+// neighbor's edges once, instead of per-candidate neighborhood probes. A
+// worklist re-revises only arcs whose source set shrank; the fixpoint (the
+// unique greatest arc-consistent subset) is the same one the per-candidate
+// reference loop reaches. Returns false when a candidate set empties.
 func (m *Matcher) propagate(p *plan) bool {
-	for i := range p.cands {
-		// Only nodes referenced by a constraint edge need the set form;
-		// skipping the rest makes single-node plans map-free.
-		if len(p.adj[i]) == 0 {
-			p.candSet[i] = nil
-			continue
-		}
-		set := make(map[graph.NodeID]bool, len(p.cands[i]))
-		for _, v := range p.cands[i] {
-			set[v] = true
-		}
-		p.candSet[i] = set
+	n := len(p.nodes)
+	if cap(m.dirtyPrev) < n {
+		m.dirtyPrev = make([]bool, n)
+		m.dirtyNext = make([]bool, n)
 	}
-	changed := true
-	for changed {
-		changed = false
-		for i := range p.nodes {
+	dirtyPrev, dirtyNext := m.dirtyPrev[:n], m.dirtyNext[:n]
+	for i := range dirtyPrev {
+		dirtyPrev[i] = true // first sweep revises every arc
+		dirtyNext[i] = false
+	}
+	for sweep := true; sweep; {
+		sweep = false
+		for i := 0; i < n; i++ {
 			if len(p.adj[i]) == 0 {
 				continue
 			}
-			kept := p.cands[i][:0]
-			for _, v := range p.cands[i] {
-				ok := true
-				for _, pe := range p.adj[i] {
-					if !hasNeighborIn(m.G, v, pe, p.candSet[pe.other]) {
-						ok = false
-						break
+			shrunk := false
+			for _, pe := range p.adj[i] {
+				if !dirtyPrev[pe.other] {
+					continue
+				}
+				// Revise in whichever direction is cheaper: the reverse
+				// semijoin walks the neighbor's candidates once, the
+				// forward probe walks this node's candidates with an
+				// early-exit membership test. Both compute the identical
+				// revision.
+				var s, nonEmpty bool
+				if len(p.cands[i]) < len(p.cands[pe.other]) {
+					s, nonEmpty = m.probeArc(p, i, pe)
+				} else {
+					s, nonEmpty = m.reviseArc(p, i, pe)
+				}
+				if !nonEmpty {
+					return false
+				}
+				shrunk = shrunk || s
+			}
+			if shrunk {
+				// Rebuild the slice form in place from the surviving bits.
+				kept := p.cands[i][:0]
+				for _, v := range p.cands[i] {
+					if p.candBits[i].Get(int(uint32(m.labelPos[v]))) {
+						kept = append(kept, v)
 					}
 				}
-				if ok {
-					kept = append(kept, v)
-				} else {
-					delete(p.candSet[i], v)
-					changed = true
-				}
+				p.cands[i] = kept
+				dirtyNext[i] = true
+				sweep = true
 			}
-			p.cands[i] = kept
-			if len(kept) == 0 {
-				return false
-			}
+		}
+		dirtyPrev, dirtyNext = dirtyNext, dirtyPrev
+		for i := range dirtyNext {
+			dirtyNext[i] = false
 		}
 	}
 	return true
 }
 
-// hasNeighborIn reports whether v has an edge matching pe whose endpoint
-// lies in allowed.
-func hasNeighborIn(g *graph.Graph, v graph.NodeID, pe planEdge, allowed map[graph.NodeID]bool) bool {
-	var es []graph.Edge
-	if pe.outgoing {
-		es = g.Out(v)
-	} else {
-		es = g.In(v)
+// reviseArc prunes plan node i's candidates to those with a pe-matching
+// edge into the current candidate set of pe.other. It reports whether the
+// set shrank and whether it remains non-empty.
+func (m *Matcher) reviseArc(p *plan, i int, pe planEdge) (shrunk, nonEmpty bool) {
+	words := p.candBits[i].Words()
+	if cap(m.scratch) < len(words) {
+		m.scratch = make([]uint64, len(words))
 	}
-	for _, e := range es {
-		if e.Label == pe.label && allowed[e.To] {
-			return true
+	scratch := m.scratch[:len(words)]
+	for k := range scratch {
+		scratch[k] = 0
+	}
+	lbl := p.labels[i]
+	// The arc's edges seen from the neighbor side: flip the direction.
+	adj, starts := m.outAdj, m.outRuns
+	if pe.outgoing {
+		adj, starts = m.inAdj, m.inRuns
+	}
+	if starts != nil {
+		// Manually inlined run lookup — this is the propagation kernel.
+		for _, w := range p.cands[pe.other] {
+			b := int(w)*m.runStride + int(pe.label)
+			for _, e := range adj[w][starts[b]:starts[b+1]] {
+				lp := m.labelPos[e.To]
+				if graph.LabelID(lp>>32) == lbl {
+					scratch[uint32(lp)>>6] |= 1 << (uint32(lp) & 63)
+				}
+			}
+		}
+	} else {
+		for _, w := range p.cands[pe.other] {
+			for _, e := range m.G.EdgeRun(w, pe.label, !pe.outgoing) {
+				lp := m.labelPos[e.To]
+				if graph.LabelID(lp>>32) == lbl {
+					scratch[uint32(lp)>>6] |= 1 << (uint32(lp) & 63)
+				}
+			}
 		}
 	}
-	return false
+	for k := range words {
+		masked := words[k] & scratch[k]
+		if masked != words[k] {
+			shrunk = true
+			words[k] = masked
+		}
+		if masked != 0 {
+			nonEmpty = true
+		}
+	}
+	return shrunk, nonEmpty
+}
+
+// probeArc is reviseArc with the loop inverted: each candidate of i scans
+// its own pe-run for an endpoint inside pe.other's candidate set. Cheaper
+// than the semijoin when i's set is the smaller side.
+func (m *Matcher) probeArc(p *plan, i int, pe planEdge) (shrunk, nonEmpty bool) {
+	bits := p.candBits[i]
+	adj, starts := m.inAdj, m.inRuns
+	if pe.outgoing {
+		adj, starts = m.outAdj, m.outRuns
+	}
+	for _, v := range p.cands[i] {
+		es := adj[v]
+		if starts != nil {
+			b := int(v)*m.runStride + int(pe.label)
+			es = es[starts[b]:starts[b+1]]
+		} else {
+			es = m.G.EdgeRun(v, pe.label, pe.outgoing)
+		}
+		ok := false
+		for _, e := range es {
+			if m.inSet(p, pe.other, e.To) {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			nonEmpty = true
+		} else {
+			bits.Clear(int(uint32(m.labelPos[v])))
+			shrunk = true
+		}
+	}
+	return shrunk, nonEmpty
 }
 
 // matchingOrder returns a connectivity-first order starting at the output
@@ -481,118 +832,285 @@ func (m *Matcher) BindContext(ctx context.Context) { m.bindContext(ctx) }
 // discarded.
 func (m *Matcher) Aborted() bool { return m.aborted }
 
-// embedFrom checks whether a full matching exists with the output node
-// pinned to v.
+// embedFrom checks whether a full matching exists with the pinned node
+// mapped to v.
 func (m *Matcher) embedFrom(p *plan, v graph.NodeID) bool {
-	assign := make([]graph.NodeID, len(p.nodes))
-	for i := range assign {
-		assign[i] = graph.InvalidNode
+	if cap(m.assign) < len(p.nodes) {
+		m.assign = make([]graph.NodeID, len(p.nodes))
 	}
-	for k := range m.used {
-		delete(m.used, k)
+	m.assign = m.assign[:len(p.nodes)]
+	for i := range m.assign {
+		m.assign[i] = graph.InvalidNode
 	}
-	assign[p.order[0]] = v
+	m.assign[p.rootIdx] = v
+	if p.adjMask != nil {
+		m.assignedMask = 1 << uint(p.rootIdx)
+		m.reachMask = p.adjMask[p.rootIdx]
+	}
 	if m.Mode == Isomorphism {
-		m.used[v] = true
+		m.usedSet(v)
 	}
-	budget := m.MaxBacktrackNodes
-	ok, _ := m.extend(p, assign, 1, budget)
+	m.nodesLeft = m.MaxBacktrackNodes
+	m.exhausted = false
+	ok := m.extend(p, 1)
+	// extend unwinds its own assignments (also on success), so clearing the
+	// root restores the scratch for the next candidate.
+	if m.Mode == Isomorphism {
+		m.usedClear(v)
+	}
 	return ok
 }
 
-// extend recursively assigns p.order[depth:]; it returns (found, remaining
-// budget). A zero starting budget means unbounded.
-func (m *Matcher) extend(p *plan, assign []graph.NodeID, depth, budget int) (bool, int) {
-	if depth == len(p.order) {
-		return true, budget
+// extend recursively assigns the remaining plan nodes, depth counting how
+// many are assigned already. The per-candidate budget is explicit matcher
+// state: nodesLeft counts expansions remaining and exhausted marks the
+// bound tripping, so a budget of 1 admits exactly one expansion instead of
+// colliding with the 0 = unbounded sentinel.
+func (m *Matcher) extend(p *plan, depth int) bool {
+	if depth == len(p.nodes) {
+		return true
 	}
-	ui := p.order[depth]
-	m.Stats.BacktrackNodes++
 	if m.aborted {
-		return false, budget
+		return false
 	}
+	// Count the node only after the abort check: an unwinding search must
+	// not inflate the counter with nodes it never actually expanded.
+	m.Stats.BacktrackNodes++
 	if m.ctx != nil && m.Stats.BacktrackNodes&cancelCheckMask == 0 {
 		select {
 		case <-m.ctx.Done():
 			// Unwind the whole search: every ancestor sees aborted and
 			// stops trying siblings, so the abort propagates in O(depth).
 			m.aborted = true
-			return false, budget
+			return false
 		default:
 		}
 	}
-	if budget != 0 {
-		budget--
-		if budget == 0 {
-			return false, 0
+	if m.MaxBacktrackNodes != 0 {
+		if m.nodesLeft == 0 {
+			m.exhausted = true
+			return false
 		}
+		m.nodesLeft--
 	}
-	// Pick the assigned neighbor whose adjacency is cheapest to scan.
+
+	var ui int
 	var pivot graph.NodeID = graph.InvalidNode
+	var pivotAt int // index into p.adj[ui] of the edge reaching the pivot
 	var pivotEdge planEdge
-	for _, pe := range p.adj[ui] {
-		if w := assign[pe.other]; w != graph.InvalidNode {
-			pivot = w
-			// The stored edge is from ui's perspective; flip it to pivot's.
-			pivotEdge = planEdge{other: ui, label: pe.label, outgoing: !pe.outgoing}
-			break
-		}
-	}
-	try := func(v graph.NodeID) (bool, int) {
-		if !p.candSet[ui][v] {
-			return false, budget
-		}
-		if m.Mode == Isomorphism && m.used[v] {
-			return false, budget
-		}
-		if !m.consistent(p, assign, ui, v) {
-			return false, budget
-		}
-		assign[ui] = v
-		if m.Mode == Isomorphism {
-			m.used[v] = true
-		}
-		found, rem := m.extend(p, assign, depth+1, budget)
-		budget = rem
-		assign[ui] = graph.InvalidNode
-		if m.Mode == Isomorphism {
-			delete(m.used, v)
-		}
-		return found, budget
-	}
-	if pivot != graph.InvalidNode {
-		var es []graph.Edge
-		if pivotEdge.outgoing {
-			es = m.G.Out(pivot)
-		} else {
-			es = m.G.In(pivot)
-		}
-		for _, e := range es {
-			if e.Label != pivotEdge.label {
+	if m.Order == OrderStatic {
+		ui = p.order[depth]
+		// Pick the assigned neighbor whose adjacency run is cheapest to
+		// scan as the candidate generator.
+		bestLen := 0
+		for ei, pe := range p.adj[ui] {
+			w := m.assign[pe.other]
+			if w == graph.InvalidNode {
 				continue
 			}
-			if found, rem := try(e.To); found {
-				return true, rem
-			} else if budget = rem; budget == 0 && m.MaxBacktrackNodes != 0 {
-				return false, 0
+			if l := m.runLen(w, pe.label, !pe.outgoing); pivot == graph.InvalidNode || l < bestLen {
+				pivot, pivotAt, bestLen = w, ei, l
+				pivotEdge = planEdge{other: ui, label: pe.label, outgoing: !pe.outgoing}
 			}
 		}
-		return false, budget
+	} else {
+		ui, pivot, pivotAt, pivotEdge = m.pickNext(p)
 	}
-	for _, v := range p.cands[ui] {
-		if found, rem := try(v); found {
-			return true, rem
-		} else if budget = rem; budget == 0 && m.MaxBacktrackNodes != 0 {
-			return false, 0
+
+	found := false
+	if pivot != graph.InvalidNode {
+		// Generate candidates from the pivot's adjacency run: every entry
+		// already satisfies the pivot edge, so consistent skips it. Runs
+		// are sorted by endpoint, letting multigraph parallel edges dedup
+		// by adjacency. When the run dwarfs the candidate list, gallop the
+		// other way: walk the (sorted) candidates and binary-search each in
+		// the run — both directions enumerate the same ascending sequence.
+		run := m.G.EdgeRun(pivot, pivotEdge.label, pivotEdge.outgoing)
+		if len(p.cands[ui])*8 < len(run) {
+			for _, v := range p.cands[ui] {
+				if !runContains(run, v) {
+					continue
+				}
+				if m.try(p, depth, ui, v, pivotAt) {
+					found = true
+					break
+				}
+				if m.exhausted || m.aborted {
+					break
+				}
+			}
+			return found
+		}
+		var last graph.NodeID = graph.InvalidNode
+		for _, e := range run {
+			if e.To == last {
+				continue
+			}
+			last = e.To
+			if m.try(p, depth, ui, e.To, pivotAt) {
+				found = true
+				break
+			}
+			if m.exhausted || m.aborted {
+				break
+			}
+		}
+	} else {
+		for _, v := range p.cands[ui] {
+			if m.try(p, depth, ui, v, -1) {
+				found = true
+				break
+			}
+			if m.exhausted || m.aborted {
+				break
+			}
 		}
 	}
-	return false, budget
+	return found
 }
 
-// consistent checks every active edge between ui and already-assigned nodes.
-func (m *Matcher) consistent(p *plan, assign []graph.NodeID, ui int, v graph.NodeID) bool {
-	for _, pe := range p.adj[ui] {
-		w := assign[pe.other]
+// pickNext chooses the next node to assign under dynamic ordering: among
+// unassigned nodes with an assigned neighbor, the one whose candidate
+// supply is cheapest right now — the smaller of its filtered candidate
+// count and the shortest adjacency run offered by an assigned neighbor
+// (live counts; the filtered counts already encode literal selectivity).
+// Ties break toward the lowest plan index so the choice is deterministic.
+// It returns the chosen node and its cheapest assigned-neighbor pivot
+// (InvalidNode when the remainder is disconnected, falling back to the
+// lowest unassigned node).
+func (m *Matcher) pickNext(p *plan) (ui int, pivot graph.NodeID, pivotAt int, pivotEdge planEdge) {
+	bestNode, bestCost := -1, int(^uint(0)>>1)
+	var bestPivot graph.NodeID = graph.InvalidNode
+	bestAt := -1
+	var bestEdge planEdge
+	if p.adjMask != nil {
+		// Mask fast path: the frontier is unassigned nodes adjacent to the
+		// assigned prefix, read straight off the masks; only those nodes'
+		// edge lists are scanned. Bit order is ascending plan index, so the
+		// tie-break matches the full scan below.
+		frontier := m.reachMask &^ m.assignedMask
+		if frontier == 0 {
+			// Disconnected remainder; should not happen for projected
+			// instances, but fall back to the lowest unassigned node.
+			return bits.TrailingZeros64(p.fullMask &^ m.assignedMask),
+				graph.InvalidNode, -1, planEdge{}
+		}
+		for f := frontier; f != 0; f &= f - 1 {
+			i := bits.TrailingZeros64(f)
+			pv, pvAt, pvLen, pvEdge := m.cheapestPivot(p, i)
+			cost := len(p.cands[i])
+			if pvLen < cost {
+				cost = pvLen
+			}
+			if cost < bestCost {
+				bestNode, bestCost = i, cost
+				bestPivot, bestAt, bestEdge = pv, pvAt, pvEdge
+				if cost == 0 {
+					break // an empty pivot run: this branch fails right away
+				}
+			}
+		}
+		return bestNode, bestPivot, bestAt, bestEdge
+	}
+	firstUnassigned := -1
+	for i := range p.nodes {
+		if m.assign[i] != graph.InvalidNode {
+			continue
+		}
+		if firstUnassigned < 0 {
+			firstUnassigned = i
+		}
+		pv, pvAt, pvLen, pvEdge := m.cheapestPivot(p, i)
+		if pv == graph.InvalidNode {
+			continue // not adjacent to the assigned prefix
+		}
+		cost := len(p.cands[i])
+		if pvLen < cost {
+			cost = pvLen
+		}
+		if cost < bestCost {
+			bestNode, bestCost = i, cost
+			bestPivot, bestAt, bestEdge = pv, pvAt, pvEdge
+		}
+	}
+	if bestNode < 0 {
+		// Disconnected remainder; see above.
+		return firstUnassigned, graph.InvalidNode, -1, planEdge{}
+	}
+	return bestNode, bestPivot, bestAt, bestEdge
+}
+
+// cheapestPivot returns node i's cheapest assigned-neighbor pivot: the
+// assigned neighbor whose adjacency run toward i is shortest, with the run
+// length and the (flipped) generator edge. pv is InvalidNode when i has no
+// assigned neighbor.
+func (m *Matcher) cheapestPivot(p *plan, i int) (pv graph.NodeID, pvAt, pvLen int, pvEdge planEdge) {
+	pv, pvAt = graph.InvalidNode, -1
+	for ei, pe := range p.adj[i] {
+		w := m.assign[pe.other]
+		if w == graph.InvalidNode {
+			continue
+		}
+		l := m.runLen(w, pe.label, !pe.outgoing)
+		if pv == graph.InvalidNode || l < pvLen {
+			pv, pvAt, pvLen = w, ei, l
+			pvEdge = planEdge{other: i, label: pe.label, outgoing: !pe.outgoing}
+		}
+	}
+	return pv, pvAt, pvLen, pvEdge
+}
+
+// try attempts assigning plan node ui to v and recursing. skipEdge is the
+// index into p.adj[ui] of the pivot edge the candidate was generated from
+// (already satisfied by construction), or -1.
+func (m *Matcher) try(p *plan, depth, ui int, v graph.NodeID, skipEdge int) bool {
+	if m.Mode == Isomorphism && m.usedGet(v) {
+		return false
+	}
+	// A candidate drawn from p.cands[ui] itself (skipEdge < 0) is a member
+	// by construction; pivot-generated candidates must pass the bitset.
+	if skipEdge >= 0 && !m.inSet(p, ui, v) {
+		return false
+	}
+	if !m.consistent(p, ui, v, skipEdge) {
+		return false
+	}
+	m.assign[ui] = v
+	savedReach := m.reachMask
+	if p.adjMask != nil {
+		m.assignedMask |= 1 << uint(ui)
+		m.reachMask |= p.adjMask[ui]
+	}
+	if m.Mode == Isomorphism {
+		m.usedSet(v)
+	}
+	found := m.extend(p, depth+1)
+	m.assign[ui] = graph.InvalidNode
+	if p.adjMask != nil {
+		m.assignedMask &^= 1 << uint(ui)
+		m.reachMask = savedReach
+	}
+	if m.Mode == Isomorphism {
+		m.usedClear(v)
+	}
+	return found
+}
+
+// runContains binary-searches a label run (sorted by endpoint) for an edge
+// to v — one step of the galloping run-∩-candidates intersection.
+func runContains(run []graph.Edge, v graph.NodeID) bool {
+	i := sort.Search(len(run), func(k int) bool { return run[k].To >= v })
+	return i < len(run) && run[i].To == v
+}
+
+// consistent checks every active edge between ui and already-assigned
+// nodes, except the skipEdge the candidate was generated from.
+func (m *Matcher) consistent(p *plan, ui int, v graph.NodeID, skipEdge int) bool {
+	for ei, pe := range p.adj[ui] {
+		if ei == skipEdge {
+			continue
+		}
+		w := m.assign[pe.other]
 		if w == graph.InvalidNode {
 			continue
 		}

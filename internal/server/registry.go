@@ -54,9 +54,10 @@ type Registry struct {
 	graphs  map[string]*graphEntry
 	workers int
 	cache   int
-	// disableAttrIndex propagates the ablation knob to every per-graph
-	// engine created by Put.
+	// disableAttrIndex and order propagate the ablation knobs to every
+	// per-graph engine created by Put.
 	disableAttrIndex bool
+	order            match.Order
 	// snaps, when set, persists every registered graph as a binary
 	// snapshot and deletes the file again on Remove; restore on startup
 	// goes through putRestored so freshly loaded snapshots aren't
@@ -105,6 +106,7 @@ func (r *Registry) put(name string, g *graph.Graph) error {
 		engine: match.NewEngine(g, match.EngineOptions{
 			Workers:          r.workers,
 			CandCacheSize:    r.cache,
+			Order:            r.order,
 			DisableAttrIndex: r.disableAttrIndex,
 		}),
 		loadedAt: time.Now(),

@@ -10,6 +10,8 @@ import (
 	"expvar"
 	"net/http"
 	"sync/atomic"
+
+	"fairsqg/internal/match"
 )
 
 // Options configures a Server.
@@ -26,6 +28,10 @@ type Options struct {
 	// candidate-selection path instead of the sorted attribute indexes
 	// (ablation; results are identical).
 	DisableAttrIndex bool
+	// Order selects the backtracking variable-ordering policy of every
+	// graph engine (default match.OrderDynamic; match.OrderStatic is the
+	// ablation setting; results are identical).
+	Order match.Order
 	// DisableIncScore forces every job's diversity evaluations onto the
 	// from-scratch pair loop instead of the subset-delta incremental path
 	// (ablation; results are bit-identical).
@@ -73,6 +79,7 @@ func New(opts Options) *Server {
 		met:  newMetrics(),
 	}
 	s.reg.disableAttrIndex = opts.DisableAttrIndex
+	s.reg.order = opts.Order
 	s.logger = opts.Logger
 	if opts.SnapshotDir != "" {
 		snaps, err := newSnapshotStore(opts.SnapshotDir, opts.Logger)
@@ -127,7 +134,7 @@ func (s *Server) MetricsSnapshot() map[string]any {
 	graphs := map[string]any{}
 	var cacheHits, cacheMisses int64
 	var distEvals, distHits, distMisses int64
-	var indexSel, scanSel int64
+	var indexSel, scanSel, sigPruned int64
 	var indexBytes, columnBytes int64
 	for _, info := range s.reg.List() {
 		graphs[info.Name] = info
@@ -138,6 +145,7 @@ func (s *Server) MetricsSnapshot() map[string]any {
 		distMisses += info.Engine.Dist.Misses
 		indexSel += info.Engine.IndexSelections
 		scanSel += info.Engine.ScanSelections
+		sigPruned += info.Engine.SigPruned
 		indexBytes += info.Memory.IndexBytes
 		columnBytes += info.Memory.ColumnBytes
 	}
@@ -164,6 +172,7 @@ func (s *Server) MetricsSnapshot() map[string]any {
 			st := map[string]any{
 				"indexSelections": indexSel,
 				"scanSelections":  scanSel,
+				"sigPruned":       sigPruned,
 				"indexBytes":      indexBytes,
 				"columnBytes":     columnBytes,
 			}
