@@ -264,4 +264,14 @@ func TestFairsqgdCLI(t *testing.T) {
 	wantExitError(t, "fairsqgd stray args", bin, "stray")
 	wantExitError(t, "fairsqgd bad -addr", bin, "-addr", "not-an-address")
 	wantExitError(t, "fairsqgd unknown -order", bin, "-order", "zzz")
+
+	// Cluster role validation: the flag combinations must be rejected
+	// before any listener comes up.
+	wantExitError(t, "fairsqgd unknown -role", bin, "-role", "supervisor")
+	wantExitError(t, "fairsqgd coordinator without workers", bin, "-role", "coordinator")
+	wantExitError(t, "fairsqgd cluster-workers without coordinator role", bin, "-cluster-workers", "localhost:9001")
+	wantExitError(t, "fairsqgd coordinator with blank worker", bin, "-role", "coordinator", "-cluster-workers", "localhost:9001,,localhost:9002")
+	wantExitError(t, "fairsqgd coordinator with duplicate workers", bin, "-role", "coordinator", "-cluster-workers", "localhost:9001,localhost:9001")
+	wantExitError(t, "fairsqgd worker with missing graph file", bin, "-role", "worker", "-graph", "g="+filepath.Join(t.TempDir(), "nope.tsv"))
+	wantExitError(t, "fairsqgd worker corrupt snapshot preload", bin, "-role", "worker", "-graph", "g="+badSnap)
 }

@@ -6,11 +6,18 @@
 //
 //	fairsqgd -addr :8080 -graph lki=lki.tsv -workers 2
 //
+// The daemon runs in one of three roles:
+//
+//	-role standalone   (default) the full job API, everything in-process
+//	-role worker       a cluster slab executor: /cluster/slab, /cluster/graphs
+//	-role coordinator  the full job API with par jobs fanned out over
+//	                   -cluster-workers host:port,... (see README)
+//
 // Endpoints (see README.md for curl examples):
 //
 //	GET  /healthz, /readyz, /metrics, /debug/pprof/, /debug/vars
 //	GET  /v1/graphs            PUT/POST /v1/graphs/{name}
-//	POST /v1/jobs              GET /v1/jobs/{id}[/result|/events]
+//	POST /v1/jobs[/batch]      GET /v1/jobs/{id}[/result|/events]
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 	"syscall"
 	"time"
 
+	"fairsqg/internal/cluster"
+	"fairsqg/internal/graph"
 	"fairsqg/internal/match"
 	"fairsqg/internal/server"
 )
@@ -58,21 +67,26 @@ func run(args []string, errw *os.File) int {
 	fs := flag.NewFlagSet("fairsqgd", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		addr         = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		workers      = fs.Int("workers", 2, "concurrent job runners")
-		queue        = fs.Int("queue", 16, "queued-job capacity before shedding with 429")
-		retention    = fs.Duration("retention", 15*time.Minute, "how long finished jobs stay visible")
-		timeout      = fs.Duration("timeout", 5*time.Minute, "default per-job deadline")
-		maxTimeout   = fs.Duration("max-timeout", 30*time.Minute, "ceiling on per-job deadlines")
-		matchWorkers = fs.Int("match-workers", 0, "per-graph match engine fan-out (0 = GOMAXPROCS)")
-		candCache    = fs.Int("cand-cache", 0, "per-graph candidate cache entries (0 default, <0 disable)")
-		noAttrIndex  = fs.Bool("no-attr-index", false, "disable sorted attribute indexes for candidate selection (linear-scan ablation)")
-		orderFlag    = fs.String("order", "dynamic", "backtracking variable order for every graph engine: dynamic or static (ablation; results identical)")
-		noIncScore   = fs.Bool("no-inc-score", false, "disable incremental subset-delta diversity scoring (ablation; results identical)")
-		maxUpload    = fs.Int64("max-upload", 64<<20, "largest accepted graph upload in bytes")
-		snapshotDir  = fs.String("snapshot-dir", "", "persist registered graphs as binary snapshots here and restore them on startup (warm restart)")
-		drainFor     = fs.Duration("drain", 30*time.Second, "how long shutdown waits for running jobs")
-		graphs       graphFlags
+		addr           = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		role           = fs.String("role", "standalone", "process role: standalone, worker or coordinator")
+		clusterWorkers = fs.String("cluster-workers", "", "comma-separated worker addresses (host:port,...) the coordinator dispatches slabs to")
+		replicas       = fs.Int("replicas", 2, "workers each graph is placed on in coordinator mode")
+		slabTimeout    = fs.Duration("slab-timeout", time.Minute, "per-attempt deadline for one dispatched slab")
+		slabRetries    = fs.Int("slab-retries", 4, "attempts per slab before a distributed job fails")
+		workers        = fs.Int("workers", 2, "concurrent job runners")
+		queue          = fs.Int("queue", 16, "queued-job capacity before shedding with 429")
+		retention      = fs.Duration("retention", 15*time.Minute, "how long finished jobs stay visible")
+		timeout        = fs.Duration("timeout", 5*time.Minute, "default per-job deadline")
+		maxTimeout     = fs.Duration("max-timeout", 30*time.Minute, "ceiling on per-job deadlines")
+		matchWorkers   = fs.Int("match-workers", 0, "per-graph match engine fan-out (0 = GOMAXPROCS)")
+		candCache      = fs.Int("cand-cache", 0, "per-graph candidate cache entries (0 default, <0 disable)")
+		noAttrIndex    = fs.Bool("no-attr-index", false, "disable sorted attribute indexes for candidate selection (linear-scan ablation)")
+		orderFlag      = fs.String("order", "dynamic", "backtracking variable order for every graph engine: dynamic or static (ablation; results identical)")
+		noIncScore     = fs.Bool("no-inc-score", false, "disable incremental subset-delta diversity scoring (ablation; results identical)")
+		maxUpload      = fs.Int64("max-upload", 64<<20, "largest accepted graph upload in bytes")
+		snapshotDir    = fs.String("snapshot-dir", "", "persist registered graphs as binary snapshots here and restore them on startup (warm restart; standalone/coordinator)")
+		drainFor       = fs.Duration("drain", 30*time.Second, "how long shutdown waits for running jobs")
+		graphs         graphFlags
 	)
 	fs.Var(&graphs, "graph", "preload a graph as name=path (.json is JSON, .fsnap a snapshot, else TSV; repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -87,8 +101,55 @@ func run(args []string, errw *os.File) int {
 		fmt.Fprintf(errw, "fairsqgd: -order: %v\n", err)
 		return 2
 	}
+	switch *role {
+	case "standalone", "coordinator", "worker":
+	default:
+		fmt.Fprintf(errw, "fairsqgd: -role: unknown role %q (want standalone, worker or coordinator)\n", *role)
+		return 2
+	}
+	if *role == "coordinator" && *clusterWorkers == "" {
+		fmt.Fprintf(errw, "fairsqgd: -role=coordinator needs -cluster-workers host:port,...\n")
+		return 2
+	}
+	if *role != "coordinator" && *clusterWorkers != "" {
+		fmt.Fprintf(errw, "fairsqgd: -cluster-workers only applies to -role=coordinator\n")
+		return 2
+	}
 
 	logger := log.New(errw, "fairsqgd ", log.LstdFlags|log.Lmsgprefix)
+
+	if *role == "worker" {
+		return runWorker(workerConfig{
+			addr: *addr, drainFor: *drainFor, graphs: graphs,
+			opts: cluster.WorkerOptions{
+				MatchWorkers:     *matchWorkers,
+				CandCacheSize:    *candCache,
+				DisableAttrIndex: *noAttrIndex,
+				Order:            order,
+				DisableIncScore:  *noIncScore,
+				MaxSnapshotBytes: *maxUpload,
+				Logger:           logger,
+			},
+		}, logger, errw)
+	}
+
+	var coord *cluster.Coordinator
+	if *role == "coordinator" {
+		coord, err = cluster.NewCoordinator(cluster.CoordinatorOptions{
+			Workers:     strings.Split(*clusterWorkers, ","),
+			Replicas:    *replicas,
+			SlabTimeout: *slabTimeout,
+			SlabRetries: *slabRetries,
+			Logger:      logger,
+		})
+		if err != nil {
+			fmt.Fprintf(errw, "fairsqgd: %v\n", err)
+			return 2
+		}
+		defer coord.Close()
+		logger.Printf("coordinator over workers %v", coord.WorkerURLs())
+	}
+
 	srv := server.New(server.Options{
 		Jobs: server.ManagerOptions{
 			Workers:        *workers,
@@ -105,6 +166,7 @@ func run(args []string, errw *os.File) int {
 		MaxUploadBytes:   *maxUpload,
 		SnapshotDir:      *snapshotDir,
 		RequireGraph:     false,
+		Cluster:          coord,
 		Logger:           logger,
 	})
 	srv.PublishExpvar("fairsqgd")
@@ -134,6 +196,7 @@ func run(args []string, errw *os.File) int {
 		fmt.Fprintf(errw, "fairsqgd: listen: %v\n", err)
 		return 1
 	}
+	logger.Printf("role %s", *role)
 	logger.Printf("listening on %s", ln.Addr())
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -164,4 +227,83 @@ func run(args []string, errw *os.File) int {
 	}
 	logger.Printf("bye")
 	return 0
+}
+
+// workerConfig carries the worker-role settings out of flag parsing.
+type workerConfig struct {
+	addr     string
+	drainFor time.Duration
+	graphs   graphFlags
+	opts     cluster.WorkerOptions
+}
+
+// runWorker serves the cluster worker protocol: slab execution and
+// snapshot ingestion, with health and metrics endpoints. Workers hold no
+// job state; shutdown just stops accepting and lets in-flight slabs
+// finish within the drain window.
+func runWorker(cfg workerConfig, logger *log.Logger, errw *os.File) int {
+	w := cluster.NewWorker(cfg.opts)
+	for _, gf := range cfg.graphs {
+		g, err := loadGraphFile(gf.path)
+		if err != nil {
+			fmt.Fprintf(errw, "fairsqgd: load graph %s: %v\n", gf.name, err)
+			return 1
+		}
+		if err := w.RegisterGraph(gf.name, g); err != nil {
+			fmt.Fprintf(errw, "fairsqgd: register graph %s: %v\n", gf.name, err)
+			return 1
+		}
+		logger.Printf("loaded graph %s: %d nodes, %d edges", gf.name, g.NumNodes(), g.NumEdges())
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintf(errw, "fairsqgd: listen: %v\n", err)
+		return 1
+	}
+	logger.Printf("role worker")
+	logger.Printf("listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: w.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(errw, "fairsqgd: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("shutting down: letting in-flight slabs finish (up to %v)", cfg.drainFor)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainFor)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+		return 1
+	}
+	logger.Printf("bye")
+	return 0
+}
+
+// loadGraphFile parses one graph file by extension, mirroring the
+// registry's -graph semantics for the worker role.
+func loadGraphFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	lower := strings.ToLower(path)
+	switch {
+	case strings.HasSuffix(lower, ".json"):
+		return graph.ReadJSON(f)
+	case strings.HasSuffix(lower, ".fsnap"):
+		return graph.ReadSnapshot(f)
+	default:
+		return graph.ReadTSV(f)
+	}
 }

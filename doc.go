@@ -122,6 +122,14 @@
 // other versions and corrupt files with descriptive errors, and TSV/JSON
 // remain the durable interchange formats.
 //
+// Generation also scales horizontally: the fairsqgd daemon runs as a
+// standalone server, a cluster worker, or a coordinator (-role) that
+// fans Generator.Parallel's lattice slabs out across worker processes,
+// shipping graphs as snapshots and merging the per-slab ε-Pareto
+// archives deterministically — the distributed result equals the
+// single-process one. See README.md ("Running a cluster") and
+// DESIGN.md §5f.
+//
 // Synthetic datasets mirroring the paper's evaluation graphs and the full
 // experiment harness live in cmd/experiments; see DESIGN.md and
 // EXPERIMENTS.md.

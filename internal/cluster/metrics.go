@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// slabBucketsMs are the upper bounds of the coordinator's slab latency
+// histogram, in milliseconds; the implicit last bucket is +Inf. Slabs are
+// coarser than single HTTP requests, so the scale starts higher than the
+// daemon's request histogram.
+var slabBucketsMs = []float64{5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// latencyHistogram is a fixed-bucket histogram safe for concurrent use,
+// mirroring the daemon's /metrics histogram shape.
+type latencyHistogram struct {
+	mu      sync.Mutex
+	count   int64
+	sumMs   float64
+	buckets []int64 // len(slabBucketsMs)+1, last = overflow
+}
+
+func newLatencyHistogram() *latencyHistogram {
+	return &latencyHistogram{buckets: make([]int64, len(slabBucketsMs)+1)}
+}
+
+func (h *latencyHistogram) observe(ms float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sumMs += ms
+	for i, ub := range slabBucketsMs {
+		if ms <= ub {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(h.buckets)-1]++
+}
+
+// snapshot renders cumulative "le" counts, the shape Prometheus-style
+// scrapers expect.
+func (h *latencyHistogram) snapshot() map[string]any {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	le := make(map[string]int64, len(h.buckets))
+	cum := int64(0)
+	for i, ub := range slabBucketsMs {
+		cum += h.buckets[i]
+		le[fmt.Sprintf("%g", ub)] = cum
+	}
+	cum += h.buckets[len(h.buckets)-1]
+	le["+Inf"] = cum
+	return map[string]any{"count": h.count, "sumMs": h.sumMs, "le": le}
+}

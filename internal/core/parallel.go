@@ -29,9 +29,8 @@ func (r *Runner) ParQGen(workers int) (*Result, error) {
 	}
 	r.resetStats()
 	start := time.Now()
-	t := r.cfg.Template
-	splitVar := pickSplitVariable(t)
-	if splitVar < 0 {
+	plan := PlanSlabs(r.cfg.Template)
+	if plan.SplitVar < 0 {
 		// No variables at all: a single instance.
 		res, err := r.RfQGen()
 		if err != nil {
@@ -39,19 +38,6 @@ func (r *Runner) ParQGen(workers int) (*Result, error) {
 		}
 		res.Elapsed = time.Since(start)
 		return res, nil
-	}
-
-	// Slab levels: wildcard plus every ladder level (edge variables:
-	// absent and present).
-	var levels []int
-	switch t.Vars[splitVar].Kind {
-	case query.EdgeVar:
-		levels = []int{0, 1}
-	default:
-		levels = append(levels, query.Wildcard)
-		for l := range t.Vars[splitVar].Ladder {
-			levels = append(levels, l)
-		}
 	}
 
 	var (
@@ -84,7 +70,7 @@ func (r *Runner) ParQGen(workers int) (*Result, error) {
 			local.adoptEngine(r)
 			sp := newSpawner(local)
 			for level := range jobs {
-				exploreSlab(local, sp, splitVar, level, archive, &mu)
+				exploreSlab(local, sp, plan.SplitVar, level, archive, &mu)
 			}
 			mu.Lock()
 			// Sum the worker-private counters only; shared engine/cache
@@ -100,7 +86,7 @@ func (r *Runner) ParQGen(workers int) (*Result, error) {
 			mu.Unlock()
 		}()
 	}
-	for _, l := range levels {
+	for _, l := range plan.Levels {
 		jobs <- l
 	}
 	close(jobs)
@@ -154,8 +140,10 @@ func pickSplitVariable(t *query.Template) int {
 
 // exploreSlab runs the RfQGen depth-first strategy inside one slab: the
 // split variable is pinned to level, and spawned children never touch it.
+// The archive may be shared across goroutines (ParQGen: mu is a real
+// mutex) or slab-private (RunSlab: mu is a no-op locker).
 func exploreSlab(r *Runner, sp *spawner, splitVar, level int,
-	archive *pareto.Archive[*Verified], mu *sync.Mutex) {
+	archive *pareto.Archive[*Verified], mu sync.Locker) {
 	t := r.cfg.Template
 	visited := make(map[string]bool)
 	var explore func(in query.Instantiation, parent *Verified)

@@ -149,6 +149,49 @@ func (a *Archive[T]) Update(p Point, payload T) Result[T] {
 	return Result[T]{Case: AddedBox, Accepted: true}
 }
 
+// MergeStats tallies what a bulk Merge did.
+type MergeStats struct {
+	// Accepted counts offered entries that entered the archive (Cases 1-3).
+	Accepted int `json:"accepted"`
+	// Rejected counts offered entries the archive dominated away.
+	Rejected int `json:"rejected"`
+	// Evicted counts previously archived representatives displaced by
+	// accepted entries.
+	Evicted int `json:"evicted"`
+}
+
+// Add folds another merge's tallies in.
+func (s *MergeStats) Add(o MergeStats) {
+	s.Accepted += o.Accepted
+	s.Rejected += o.Rejected
+	s.Evicted += o.Evicted
+}
+
+// Merge unions a batch of entries into the archive by offering each to
+// Update in order, so the result stays inside the ε-Pareto contract for
+// the combined point stream. The surviving *box set* is independent of
+// offer order (each box survives iff no offered box strictly dominates
+// it), which is what lets a cluster coordinator merge per-worker slab
+// archives in any arrival order and still converge on one box set; the
+// chosen *representative* within a box follows Update's keep-the-incumbent
+// tie-break, so a deterministic merge order yields a fully deterministic
+// archive. Entry Box fields are recomputed under the receiver's ε, so
+// archives with different tolerances merge correctly (Lemma 4: established
+// ε-dominance survives any larger ε').
+func (a *Archive[T]) Merge(entries []Entry[T]) MergeStats {
+	var st MergeStats
+	for i := range entries {
+		res := a.Update(entries[i].Point, entries[i].Payload)
+		if res.Accepted {
+			st.Accepted++
+		} else {
+			st.Rejected++
+		}
+		st.Evicted += len(res.Evicted)
+	}
+	return st
+}
+
 // Classify reports which Update case would apply for p without mutating the
 // archive; OnlineQGen uses it to decide whether an arrival would grow the
 // set before committing.

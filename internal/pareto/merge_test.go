@@ -1,0 +1,133 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mergeSeed fixes the randomized merge fixtures; logged on failure.
+const mergeSeed = 442271
+
+// splitEntries partitions a point stream into k per-"worker" archives and
+// returns their entry slices — the shape a cluster coordinator receives.
+func splitEntries(rng *rand.Rand, eps float64, ps []Point, k int) [][]Entry[int] {
+	archives := make([]*Archive[int], k)
+	for i := range archives {
+		archives[i] = NewArchive[int](eps)
+	}
+	for i, p := range ps {
+		archives[rng.Intn(k)].Update(p, i)
+	}
+	out := make([][]Entry[int], k)
+	for i, a := range archives {
+		out[i] = append([]Entry[int](nil), a.Entries()...)
+	}
+	return out
+}
+
+// TestMergeStatsAccounting: every offered entry is either accepted or
+// rejected, and the archive's growth is exactly accepted minus evicted.
+func TestMergeStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(mergeSeed))
+	for trial := 0; trial < 60; trial++ {
+		ps := propertyPoints(rng, 1+rng.Intn(40))
+		for _, eps := range propertyEpsilons {
+			a := fillArchive(eps, ps[:len(ps)/2])
+			before := a.Len()
+			var offered []Entry[int]
+			for i, p := range ps[len(ps)/2:] {
+				offered = append(offered, Entry[int]{Point: p, Box: BoxOf(p, eps), Payload: 1000 + i})
+			}
+			st := a.Merge(offered)
+			if st.Accepted+st.Rejected != len(offered) {
+				t.Fatalf("seed %d trial %d eps=%v: accepted %d + rejected %d != offered %d",
+					mergeSeed, trial, eps, st.Accepted, st.Rejected, len(offered))
+			}
+			if got := a.Len() - before; got != st.Accepted-st.Evicted {
+				t.Fatalf("seed %d trial %d eps=%v: archive grew %d, stats say %d-%d",
+					mergeSeed, trial, eps, got, st.Accepted, st.Evicted)
+			}
+		}
+	}
+}
+
+// TestMergeOrderIndependentBoxSet: merging per-worker slab archives into a
+// coordinator archive yields the same box set regardless of the order the
+// workers' results arrive — the property that lets the cluster coordinator
+// merge slab responses as they complete without losing determinism at box
+// granularity. The merged box set also equals the box set of offering the
+// original point stream directly to one archive.
+func TestMergeOrderIndependentBoxSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(mergeSeed + 1))
+	for trial := 0; trial < 60; trial++ {
+		ps := propertyPoints(rng, 2+rng.Intn(50))
+		for _, eps := range propertyEpsilons {
+			want := boxSet(fillArchive(eps, ps))
+			parts := splitEntries(rng, eps, ps, 2+rng.Intn(3))
+			for perm := 0; perm < 6; perm++ {
+				order := rng.Perm(len(parts))
+				merged := NewArchive[int](eps)
+				for _, pi := range order {
+					merged.Merge(parts[pi])
+				}
+				if got := boxSet(merged); !equalBoxes(got, want) {
+					t.Fatalf("seed %d trial %d eps=%v perm %d: merged box set depends on arrival order:\ngot  %v\nwant %v",
+						mergeSeed, trial, eps, perm, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMergePreservesEpsContract: after merging every worker's archive, the
+// coordinator archive ε-dominates the complete original point stream (not
+// just the per-worker survivors), and its entries stay pairwise
+// box-incomparable — the ε-Pareto contract holds end to end.
+func TestMergePreservesEpsContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(mergeSeed + 2))
+	for trial := 0; trial < 60; trial++ {
+		ps := propertyPoints(rng, 2+rng.Intn(50))
+		for _, eps := range propertyEpsilons {
+			parts := splitEntries(rng, eps, ps, 2+rng.Intn(3))
+			merged := NewArchive[int](eps)
+			for _, part := range parts {
+				merged.Merge(part)
+			}
+			if !merged.EpsDominatesAll(ps) {
+				t.Fatalf("seed %d trial %d eps=%v: merged archive %v does not ε-dominate original stream %v",
+					mergeSeed, trial, eps, merged.Points(), ps)
+			}
+			es := merged.Entries()
+			for i := range es {
+				for j := range es {
+					if i != j && es[i].Box.WeaklyDominates(es[j].Box) {
+						t.Fatalf("seed %d trial %d eps=%v: merged boxes %v ⪰ %v", mergeSeed, trial, eps, es[i].Box, es[j].Box)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeAcrossEpsilons: merging entries archived under a smaller ε into
+// a coarser archive recomputes boxes under the receiver's ε (Lemma 4:
+// ε-dominance survives enlargement), so the contract holds for the
+// combined stream at the coarser tolerance.
+func TestMergeAcrossEpsilons(t *testing.T) {
+	rng := rand.New(rand.NewSource(mergeSeed + 3))
+	for trial := 0; trial < 40; trial++ {
+		ps := propertyPoints(rng, 2+rng.Intn(40))
+		fine := fillArchive(0.05, ps)
+		coarse := NewArchive[int](0.8)
+		coarse.Merge(fine.Entries())
+		if !coarse.EpsDominatesAll(fine.Points()) {
+			t.Fatalf("seed %d trial %d: coarse merge lost ε-dominance over fine survivors", mergeSeed, trial)
+		}
+		for _, e := range coarse.Entries() {
+			if e.Box != BoxOf(e.Point, 0.8) {
+				t.Fatalf("seed %d trial %d: entry box %v not recomputed under receiver eps (want %v)",
+					mergeSeed, trial, e.Box, BoxOf(e.Point, 0.8))
+			}
+		}
+	}
+}

@@ -46,6 +46,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
 
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("POST /v1/jobs/batch", s.handleBatchJobs)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
@@ -84,10 +85,15 @@ func (r *statusRecorder) Flush() {
 var reqCounter atomic.Uint64
 
 // withRequestLog wraps the tree with request IDs, logging, counters and
-// panic recovery.
+// panic recovery. An inbound X-Request-Id (e.g. from an upstream proxy or
+// a cluster coordinator) is honored and echoed, so one logical request
+// correlates across hops; otherwise an ID is assigned.
 func (s *Server) withRequestLog(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := fmt.Sprintf("r%08x", reqCounter.Add(1))
+		id := r.Header.Get("X-Request-Id")
+		if id == "" || len(id) > 128 {
+			id = fmt.Sprintf("r%08x", reqCounter.Add(1))
+		}
 		w.Header().Set("X-Request-Id", id)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
@@ -126,6 +132,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.opts.RequireGraph && len(s.reg.List()) == 0 {
 		writeError(w, http.StatusServiceUnavailable, "no graphs registered")
+		return
+	}
+	if s.opts.Cluster != nil && s.opts.Cluster.LiveWorkers() == 0 {
+		writeError(w, http.StatusServiceUnavailable, "coordinator has no live workers")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -198,9 +208,15 @@ func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
-	if err := s.reg.Remove(r.PathValue("name")); err != nil {
+	name := r.PathValue("name")
+	if err := s.reg.Remove(name); err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
+	}
+	if s.opts.Cluster != nil {
+		// Drop the coordinator's snapshot cache so a later same-name
+		// registration re-encodes and re-places.
+		s.opts.Cluster.ForgetGraph(name)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "removed"})
 }
@@ -233,6 +249,71 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
 	st, _ := s.jobs.Status(job.ID)
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// BatchItem is the per-spec outcome of a batch submission.
+type BatchItem struct {
+	// Accepted reports whether this spec was enqueued; ID and Location
+	// identify the job when it was.
+	Accepted bool   `json:"accepted"`
+	ID       string `json:"id,omitempty"`
+	Location string `json:"location,omitempty"`
+	// Status is the HTTP code this spec would have received from a single
+	// submit (202, 400, 404, 429, 503); Error explains non-2xx ones.
+	Status int    `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleBatchJobs accepts an array of job specs and submits each through
+// the same validation, shedding and draining semantics as a single
+// submit: items are processed in order, and a queue-full shed rejects
+// that item (with per-item status 429 and a top-level Retry-After hint)
+// without rolling back earlier accepts. The response is 200 whenever the
+// batch itself was well-formed, regardless of item outcomes.
+func (s *Server) handleBatchJobs(w http.ResponseWriter, r *http.Request) {
+	var specs []JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&specs); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch body (want a JSON array of job specs): %v", err)
+		return
+	}
+	if len(specs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	const maxBatch = 256
+	if len(specs) > maxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d specs exceeds the limit of %d", len(specs), maxBatch)
+		return
+	}
+	items := make([]BatchItem, len(specs))
+	accepted, shed := 0, false
+	for i := range specs {
+		job, err := s.jobs.Submit(&specs[i])
+		switch {
+		case err == nil:
+			items[i] = BatchItem{Accepted: true, ID: job.ID, Location: "/v1/jobs/" + job.ID, Status: http.StatusAccepted}
+			accepted++
+		case errors.Is(err, ErrQueueFull):
+			items[i] = BatchItem{Status: http.StatusTooManyRequests, Error: err.Error()}
+			shed = true
+		case errors.Is(err, ErrDraining):
+			items[i] = BatchItem{Status: http.StatusServiceUnavailable, Error: err.Error()}
+		case errors.Is(err, ErrUnknownGraph):
+			items[i] = BatchItem{Status: http.StatusNotFound, Error: err.Error()}
+		default:
+			items[i] = BatchItem{Status: http.StatusBadRequest, Error: err.Error()}
+		}
+	}
+	if shed {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"items":    items,
+		"accepted": accepted,
+		"rejected": len(items) - accepted,
+	})
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {

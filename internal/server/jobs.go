@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"fairsqg/internal/cluster"
 	"fairsqg/internal/core"
 )
 
@@ -131,6 +132,9 @@ type Manager struct {
 	// disableIncScore propagates the server-level scoring ablation into
 	// every job's configuration (see Options.DisableIncScore).
 	disableIncScore bool
+	// cluster, when set, runs par jobs distributed over the worker fleet
+	// instead of the local lattice walk (see Options.Cluster).
+	cluster *cluster.Coordinator
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -189,21 +193,31 @@ func (m *Manager) Submit(spec *JobSpec) (*Job, error) {
 	if every == 0 {
 		every = 32
 	}
-	run := func(ctx context.Context, hub *progressHub) (*JobResult, error) {
-		cfg.Ctx = ctx
-		var hook func(core.VerifyEvent)
-		if every > 0 {
-			hook = func(ev core.VerifyEvent) {
-				if ev.Seq != 1 && ev.Seq%every != 0 {
-					return
-				}
-				hub.publish(JobEvent{
-					Type: "progress", Verified: ev.Seq, Feasible: ev.Feasible,
-					Matches: ev.Matches, Div: ev.Point.Div, Cov: ev.Point.Cov,
-				})
-			}
+	var run runFunc
+	if m.cluster != nil && spec.Algorithm == "par" {
+		// Coordinator mode: par jobs fan out over the worker fleet. The
+		// config built above already validated the spec; workers rebuild it
+		// from the payload against their content-addressed graph copies.
+		run = func(ctx context.Context, hub *progressHub) (*JobResult, error) {
+			return m.runDistributed(ctx, spec, handle, hub)
 		}
-		return runSpec(spec, cfg, hook)
+	} else {
+		run = func(ctx context.Context, hub *progressHub) (*JobResult, error) {
+			cfg.Ctx = ctx
+			var hook func(core.VerifyEvent)
+			if every > 0 {
+				hook = func(ev core.VerifyEvent) {
+					if ev.Seq != 1 && ev.Seq%every != 0 {
+						return
+					}
+					hub.publish(JobEvent{
+						Type: "progress", Verified: ev.Seq, Feasible: ev.Feasible,
+						Matches: ev.Matches, Div: ev.Point.Div, Cov: ev.Point.Cov,
+					})
+				}
+			}
+			return runSpec(spec, cfg, hook)
+		}
 	}
 	timeout := m.opts.DefaultTimeout
 	if spec.TimeoutMs > 0 {
@@ -270,7 +284,9 @@ func (m *Manager) runJob(job *Job) {
 		m.mu.Unlock()
 		return
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), job.timeout)
+	// The ID rides the context so run closures built before the ID existed
+	// (Submit runs before enqueue assigns it) can still correlate logs.
+	ctx, cancel := context.WithTimeout(context.WithValue(context.Background(), ctxJobID{}, job.ID), job.timeout)
 	job.cancel = cancel
 	job.state = JobRunning
 	job.started = time.Now()

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"sync/atomic"
 
+	"fairsqg/internal/cluster"
 	"fairsqg/internal/match"
 )
 
@@ -47,6 +48,13 @@ type Options struct {
 	SnapshotDir string
 	// RequireGraph makes /readyz fail until a graph is registered.
 	RequireGraph bool
+	// Cluster, when set, puts the server in coordinator mode: par jobs
+	// are scheduled over the coordinator's worker fleet instead of the
+	// local lattice walk, /metrics grows a `cluster` section, and /readyz
+	// additionally requires at least one live worker. The job API is
+	// otherwise unchanged. The server does not own the coordinator's
+	// lifecycle; the daemon closes it on shutdown.
+	Cluster *cluster.Coordinator
 	// Logger receives request and lifecycle logs; nil silences them.
 	Logger printfLogger
 }
@@ -97,6 +105,7 @@ func New(opts Options) *Server {
 	}
 	s.jobs = NewManager(s.reg, s.met, opts.Jobs)
 	s.jobs.disableIncScore = opts.DisableIncScore
+	s.jobs.cluster = opts.Cluster
 	s.handler = s.routes()
 	return s
 }
@@ -149,7 +158,7 @@ func (s *Server) MetricsSnapshot() map[string]any {
 		indexBytes += info.Memory.IndexBytes
 		columnBytes += info.Memory.ColumnBytes
 	}
-	return map[string]any{
+	out := map[string]any{
 		"jobs": map[string]any{
 			"submitted":  s.met.jobsSubmitted.Value(),
 			"shed":       s.met.jobsShed.Value(),
@@ -188,6 +197,10 @@ func (s *Server) MetricsSnapshot() map[string]any {
 		"latencyMs": s.met.latencySnapshot(),
 		"graphs":    graphs,
 	}
+	if s.opts.Cluster != nil {
+		out["cluster"] = s.opts.Cluster.MetricsSnapshot()
+	}
+	return out
 }
 
 // PublishExpvar registers the server's metrics snapshot in the

@@ -13,10 +13,8 @@ import (
 	"testing"
 	"time"
 
-	"fairsqg/internal/core"
+	"fairsqg/internal/cluster"
 	"fairsqg/internal/graph"
-	"fairsqg/internal/groups"
-	"fairsqg/internal/query"
 )
 
 // testGraph mirrors the core package's professional-network fixture:
@@ -286,15 +284,10 @@ func TestEndToEnd(t *testing.T) {
 func directRun(t *testing.T, spec JobSpec) *JobResult {
 	t.Helper()
 	g := testGraph(t, 7)
-	tpl, err := query.ParseString(spec.Template)
+	cfg, err := cluster.BuildConfig(specPayload(&spec), g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bindMissingLadders(tpl, g, spec.MaxDomain); err != nil {
-		t.Fatal(err)
-	}
-	set := groups.EqualOpportunity(groups.ByAttribute(g, spec.Groups.Label, spec.Groups.Attr), spec.Groups.Cover)
-	cfg := &core.Config{G: g, Template: tpl, Groups: set, Eps: spec.Eps, MaxPairs: 20000}
 	res, err := runSpec(&spec, cfg, nil)
 	if err != nil {
 		t.Fatal(err)

@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"fairsqg/internal/cluster"
 	"fairsqg/internal/core"
-	"fairsqg/internal/graph"
-	"fairsqg/internal/groups"
-	"fairsqg/internal/query"
 )
 
 // JobSpec is the JSON body of a job submission: which graph, which
@@ -85,100 +83,45 @@ type JobResult struct {
 	Queries   []ResultQuery `json:"queries"`
 }
 
+// specPayload converts the HTTP job spec into the cluster package's
+// algorithm-independent job payload — the same object a coordinator ships
+// to its workers, which is what keeps local and distributed runs on one
+// spec→config semantics.
+func specPayload(spec *JobSpec) cluster.JobPayload {
+	return cluster.JobPayload{
+		Template: spec.Template,
+		Groups: cluster.GroupsPayload{
+			Label:  spec.Groups.Label,
+			Attr:   spec.Groups.Attr,
+			Values: spec.Groups.Values,
+			Cover:  spec.Groups.Cover,
+			Total:  spec.Groups.Total,
+		},
+		Eps:           spec.Eps,
+		Lambda:        spec.Lambda,
+		MaxDomain:     spec.MaxDomain,
+		MaxPairs:      spec.MaxPairs,
+		DistanceAttrs: spec.DistanceAttrs,
+	}
+}
+
 // buildConfig validates a spec against its leased graph and produces the
 // run configuration. Errors here are the caller's fault and surface as
-// HTTP 400s at submit time, before the job is queued.
+// HTTP 400s at submit time, before the job is queued. The spec→config
+// semantics live in cluster.BuildConfig, shared with cluster workers; the
+// server only adds algorithm validation and the graph's shared engine.
 func buildConfig(spec *JobSpec, h *Handle) (*core.Config, error) {
 	if !validAlgorithms[spec.Algorithm] {
 		return nil, fmt.Errorf("server: unknown algorithm %q (want enum, rf, bi, par, kungs or cbm)", spec.Algorithm)
 	}
-	if spec.Template == "" {
-		return nil, fmt.Errorf("server: job needs a template")
-	}
-	tpl, err := query.ParseString(spec.Template)
+	cfg, err := cluster.BuildConfig(specPayload(spec), h.Graph())
 	if err != nil {
 		return nil, err
 	}
-	if err := bindMissingLadders(tpl, h.Graph(), spec.MaxDomain); err != nil {
-		return nil, err
-	}
-	gs := spec.Groups
-	if gs.Label == "" || gs.Attr == "" {
-		return nil, fmt.Errorf("server: job needs groups.label and groups.attr")
-	}
-	var set groups.Set
-	if len(gs.Values) > 0 {
-		set = groups.ByValues(h.Graph(), gs.Label, gs.Attr, gs.Values...)
-	} else {
-		set = groups.ByAttribute(h.Graph(), gs.Label, gs.Attr)
-	}
-	if len(set) == 0 {
-		return nil, fmt.Errorf("server: no groups for %s.%s", gs.Label, gs.Attr)
-	}
-	if gs.Total > 0 {
-		set = groups.SplitEvenly(set, gs.Total)
-	} else {
-		set = groups.EqualOpportunity(set, gs.Cover)
-	}
-	eps := spec.Eps
-	if eps == 0 {
-		eps = 0.05
-	}
-	maxPairs := spec.MaxPairs
-	if maxPairs == 0 {
-		maxPairs = 20000
-	}
-	cfg := &core.Config{
-		G:             h.Graph(),
-		Template:      tpl,
-		Groups:        set,
-		Eps:           eps,
-		MaxPairs:      maxPairs,
-		DistanceAttrs: spec.DistanceAttrs,
-		// The graph's shared engine: every job on this graph reuses one
-		// warm candidate cache, one pair-distance cache and one matcher pool.
-		Engine: h.Engine(),
-	}
-	if spec.Lambda != nil {
-		cfg.Lambda = *spec.Lambda
-		cfg.LambdaSet = true
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
+	// The graph's shared engine: every job on this graph reuses one warm
+	// candidate cache, one pair-distance cache and one matcher pool.
+	cfg.Engine = h.Engine()
 	return cfg, nil
-}
-
-// bindMissingLadders binds value ladders for range variables the DSL left
-// unbound, preserving explicitly pinned ladders (Template.BindDomains
-// overwrites every variable, so pinned ones are saved and restored).
-func bindMissingLadders(tpl *query.Template, g *graph.Graph, maxDomain int) error {
-	if maxDomain <= 0 {
-		maxDomain = 8
-	}
-	pinned := map[int][]graph.Value{}
-	needsBind := false
-	for vi := range tpl.Vars {
-		v := &tpl.Vars[vi]
-		if v.Kind != query.RangeVar {
-			continue
-		}
-		if len(v.Ladder) > 0 {
-			pinned[vi] = v.Ladder
-		} else {
-			needsBind = true
-		}
-	}
-	if !needsBind {
-		return nil
-	}
-	if err := tpl.BindDomains(g, query.DomainOptions{MaxValues: maxDomain}); err != nil {
-		return err
-	}
-	for vi, ladder := range pinned {
-		tpl.Vars[vi].Ladder = ladder
-	}
-	return nil
 }
 
 // runSpec executes a job's algorithm over its prepared configuration and

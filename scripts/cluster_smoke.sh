@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the fairsqgd cluster: build, start one
+# coordinator and two workers on random ports, upload a generated graph,
+# run a distributed par job to completion, verify the cluster metrics on
+# every process, and shut the fleet down cleanly with SIGTERM. Needs only
+# bash, curl and go.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+work="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -9 "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+say() { echo "cluster-smoke: $*"; }
+fail() {
+    say "FAIL: $*"
+    for log in "$work"/*.log; do
+        [[ -f "$log" ]] && sed "s/^/  $(basename "$log"): /" "$log"
+    done
+    exit 1
+}
+
+# wait_addr LOGFILE -> echoes the listen address once the daemon logs it.
+wait_addr() {
+    local log="$1" addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/.*listening on //p' "$log" 2>/dev/null | head -n1)"
+        [[ -n "$addr" ]] && { echo "$addr"; return 0; }
+        sleep 0.1
+    done
+    return 1
+}
+
+say "building fairsqgd and graphgen"
+(cd "$root" && go build -o "$work/fairsqgd" ./cmd/fairsqgd && go build -o "$work/graphgen" ./cmd/graphgen)
+
+say "generating a small lki graph"
+"$work/graphgen" -dataset lki -nodes 2000 -seed 7 -out "$work/lki.tsv"
+
+say "starting two workers"
+"$work/fairsqgd" -role worker -addr 127.0.0.1:0 >"$work/worker1.log" 2>&1 &
+pids+=($!)
+"$work/fairsqgd" -role worker -addr 127.0.0.1:0 >"$work/worker2.log" 2>&1 &
+pids+=($!)
+w1="$(wait_addr "$work/worker1.log")" || fail "worker 1 never reported its address"
+w2="$(wait_addr "$work/worker2.log")" || fail "worker 2 never reported its address"
+say "workers at $w1 and $w2"
+curl -fsS "http://$w1/readyz" >/dev/null || fail "worker 1 readyz"
+curl -fsS "http://$w2/readyz" >/dev/null || fail "worker 2 readyz"
+
+say "starting the coordinator"
+"$work/fairsqgd" -role coordinator -cluster-workers "$w1,$w2" -addr 127.0.0.1:0 \
+    -workers 2 -queue 8 >"$work/coordinator.log" 2>&1 &
+pids+=($!)
+coord="$(wait_addr "$work/coordinator.log")" || fail "coordinator never reported its address"
+base="http://$coord"
+say "coordinator is at $base"
+curl -fsS "$base/healthz" >/dev/null || fail "coordinator healthz"
+curl -fsS "$base/readyz" >/dev/null || fail "coordinator readyz (live workers)"
+
+say "uploading the graph to the coordinator"
+curl -fsS -X PUT --data-binary @"$work/lki.tsv" "$base/v1/graphs/lki?format=tsv" >/dev/null || fail "graph upload"
+
+say "submitting the distributed par job"
+job_json="$root/examples/server/job_par.json"
+id="$(curl -fsS -X POST --data-binary @"$job_json" "$base/v1/jobs" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+[[ -n "$id" ]] || fail "no job id in submit response"
+say "job $id accepted"
+
+state=""
+for _ in $(seq 1 300); do
+    state="$(curl -fsS "$base/v1/jobs/$id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')"
+    case "$state" in
+        done) break ;;
+        failed|cancelled) fail "job ended $state: $(curl -fsS "$base/v1/jobs/$id")" ;;
+    esac
+    sleep 0.2
+done
+[[ "$state" == "done" ]] || fail "job stuck in state '$state'"
+say "distributed job finished"
+
+queries="$(curl -fsS "$base/v1/jobs/$id/result" | grep -c '"text"')" || true
+[[ "$queries" -gt 0 ]] || fail "result has no queries"
+say "result has $queries queries"
+
+say "checking cluster metrics"
+metrics="$(curl -fsS "$base/metrics")"
+echo "$metrics" | grep -q '"cluster"' || fail "coordinator metrics have no cluster section: $metrics"
+echo "$metrics" | grep -q '"liveWorkers": 2' || fail "cluster metrics do not show 2 live workers: $metrics"
+echo "$metrics" | grep -q '"slabLatencyMs"' || fail "cluster metrics missing the slab latency histogram"
+dispatched="$(echo "$metrics" | sed -n 's/.*"slabsDispatched": *\([0-9]*\).*/\1/p' | head -n1)"
+[[ -n "$dispatched" && "$dispatched" -gt 0 ]] || fail "no slabs dispatched: $metrics"
+say "coordinator dispatched $dispatched slabs"
+
+ran1="$(curl -fsS "http://$w1/metrics" | sed -n 's/.*"slabsRun": *\([0-9]*\).*/\1/p' | head -n1)"
+ran2="$(curl -fsS "http://$w2/metrics" | sed -n 's/.*"slabsRun": *\([0-9]*\).*/\1/p' | head -n1)"
+[[ -n "$ran1" && -n "$ran2" ]] || fail "workers expose no slabsRun counter"
+[[ $((ran1 + ran2)) -gt 0 ]] || fail "no worker ran any slab (w1=$ran1 w2=$ran2)"
+say "workers ran $ran1 + $ran2 slabs"
+pushed="$(curl -fsS "http://$w1/metrics" | sed -n 's/.*"snapshotsIn": *\([0-9]*\).*/\1/p' | head -n1)"
+say "worker 1 ingested $pushed snapshot(s)"
+
+say "submitting a batch (one good, one bad graph)"
+batch="$(curl -fsS -X POST --data-binary "[$(cat "$job_json"),$(sed 's/"lki"/"nope"/' "$job_json")]" "$base/v1/jobs/batch")"
+echo "$batch" | grep -q '"accepted": 1' || fail "batch did not accept exactly one item: $batch"
+echo "$batch" | grep -q '"rejected": 1' || fail "batch did not reject exactly one item: $batch"
+say "batch semantics OK"
+
+say "stopping the fleet with SIGTERM (coordinator first so it drains against live workers)"
+stop_one() {
+    local pid="$1" name="$2"
+    kill -TERM "$pid" 2>/dev/null || true
+    for _ in $(seq 1 200); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    kill -0 "$pid" 2>/dev/null && fail "$name did not exit after SIGTERM"
+    local rc=0
+    wait "$pid" || rc=$?
+    [[ "$rc" -eq 0 ]] || fail "$name exited with status $rc"
+    grep -q "bye" "$work/$name.log" || fail "$name clean-shutdown log line missing"
+}
+stop_one "${pids[2]}" coordinator
+stop_one "${pids[0]}" worker1
+stop_one "${pids[1]}" worker2
+pids=()
+say "PASS"
