@@ -225,16 +225,17 @@ func loadGraph(file, dataset string, nodes int, seed int64) (*fairsqg.Graph, err
 	if file == "" {
 		return fairsqg.BuildDataset(dataset, fairsqg.DatasetOptions{Nodes: nodes, Seed: seed})
 	}
+	if strings.HasSuffix(file, ".fsnap") {
+		// File-backed fast path: sized read, no io.Reader copy loop.
+		return fairsqg.ReadGraphSnapshotFile(file)
+	}
 	f, err := os.Open(file)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	switch {
-	case strings.HasSuffix(file, ".json"):
+	if strings.HasSuffix(file, ".json") {
 		return fairsqg.ReadGraphJSON(f)
-	case strings.HasSuffix(file, ".fsnap"):
-		return fairsqg.ReadGraphSnapshot(f)
 	}
 	return fairsqg.ReadGraphTSV(f)
 }

@@ -85,6 +85,7 @@ func run(args []string, errw *os.File) int {
 		noIncScore     = fs.Bool("no-inc-score", false, "disable incremental subset-delta diversity scoring (ablation; results identical)")
 		maxUpload      = fs.Int64("max-upload", 64<<20, "largest accepted graph upload in bytes")
 		snapshotDir    = fs.String("snapshot-dir", "", "persist registered graphs as binary snapshots here and restore them on startup (warm restart; standalone/coordinator)")
+		mmapGraphs     = fs.Bool("mmap-graphs", false, "serve graphs memory-mapped from their snapshots in -snapshot-dir instead of decoding to the heap (out-of-core: restore is O(open), resident memory tracks what queries touch)")
 		drainFor       = fs.Duration("drain", 30*time.Second, "how long shutdown waits for running jobs")
 		graphs         graphFlags
 	)
@@ -113,6 +114,10 @@ func run(args []string, errw *os.File) int {
 	}
 	if *role != "coordinator" && *clusterWorkers != "" {
 		fmt.Fprintf(errw, "fairsqgd: -cluster-workers only applies to -role=coordinator\n")
+		return 2
+	}
+	if *mmapGraphs && *snapshotDir == "" {
+		fmt.Fprintf(errw, "fairsqgd: -mmap-graphs needs -snapshot-dir (graphs are mapped from their snapshot files)\n")
 		return 2
 	}
 
@@ -165,6 +170,7 @@ func run(args []string, errw *os.File) int {
 		DisableIncScore:  *noIncScore,
 		MaxUploadBytes:   *maxUpload,
 		SnapshotDir:      *snapshotDir,
+		MmapGraphs:       *mmapGraphs,
 		RequireGraph:     false,
 		Cluster:          coord,
 		Logger:           logger,
@@ -292,18 +298,18 @@ func runWorker(cfg workerConfig, logger *log.Logger, errw *os.File) int {
 // loadGraphFile parses one graph file by extension, mirroring the
 // registry's -graph semantics for the worker role.
 func loadGraphFile(path string) (*graph.Graph, error) {
+	lower := strings.ToLower(path)
+	if strings.HasSuffix(lower, ".fsnap") {
+		// File-backed fast path: sized read instead of io.Reader growth.
+		return graph.ReadSnapshotFile(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	lower := strings.ToLower(path)
-	switch {
-	case strings.HasSuffix(lower, ".json"):
+	if strings.HasSuffix(lower, ".json") {
 		return graph.ReadJSON(f)
-	case strings.HasSuffix(lower, ".fsnap"):
-		return graph.ReadSnapshot(f)
-	default:
-		return graph.ReadTSV(f)
 	}
+	return graph.ReadTSV(f)
 }

@@ -149,9 +149,27 @@ func WriteGraphTSV(w io.Writer, g *Graph) error { return graph.WriteTSV(w, g) }
 // without re-running Freeze.
 func ReadGraphSnapshot(r io.Reader) (*Graph, error) { return graph.ReadSnapshot(r) }
 
+// ReadGraphSnapshotFile loads a snapshot straight from a file, sizing the
+// buffer from the file's length instead of growing through an io.Reader;
+// prefer it over ReadGraphSnapshot when the snapshot is on disk.
+func ReadGraphSnapshotFile(path string) (*Graph, error) { return graph.ReadSnapshotFile(path) }
+
+// OpenGraphSnapshotMapped opens a version 2 snapshot file memory-mapped:
+// the graph's frozen sections are served zero-copy from the page cache,
+// making open time independent of graph size. The caller must Close the
+// returned graph when done reading; see graph.OpenSnapshotMapped for the
+// lifetime rules. Version 1 files return an error wrapping
+// graph.ErrSnapshotVersion — fall back to ReadGraphSnapshotFile.
+func OpenGraphSnapshotMapped(path string) (*Graph, error) { return graph.OpenSnapshotMapped(path) }
+
 // WriteGraphSnapshot serializes a frozen graph's exact in-memory layout
-// as a versioned, checksummed binary snapshot.
+// as a versioned, checksummed binary snapshot (the memory-mappable
+// version 2 layout; WriteGraphSnapshotV1 emits the legacy version).
 func WriteGraphSnapshot(w io.Writer, g *Graph) error { return graph.WriteSnapshot(w, g) }
+
+// WriteGraphSnapshotV1 serializes a frozen graph in the legacy version 1
+// snapshot layout, for artifacts consumed by older builds.
+func WriteGraphSnapshotV1(w io.Writer, g *Graph) error { return graph.WriteSnapshotV1(w, g) }
 
 // SummarizeGraph computes descriptive statistics of a frozen graph.
 func SummarizeGraph(g *Graph) GraphStats { return graph.Summarize(g) }

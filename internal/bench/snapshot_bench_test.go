@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"fairsqg/internal/gen"
@@ -49,6 +51,86 @@ func BenchmarkSnapshotLoad(b *testing.B) {
 			}
 			if got.NumNodes() != g.NumNodes() {
 				b.Fatalf("parsed %d nodes, want %d", got.NumNodes(), g.NumNodes())
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotMappedLoad measures open-to-first-query on the same
+// 100k-node lki graph: how long until a freshly started process answers
+// its first read. The mapped path (mmap + structural validation, no decode
+// and no CRC pass) is the -mmap-graphs restore cost; the v1 and v2 heap
+// decodes are what a full-decode restore pays. The "query" walks one label
+// bucket and its out-edges — enough to fault real pages, small enough not
+// to drown the open.
+func BenchmarkSnapshotMappedLoad(b *testing.B) {
+	g, err := gen.Build("lki", gen.Options{Nodes: 100000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	firstQuery := func(g *graph.Graph) int {
+		sum := 0
+		for _, v := range g.NodesByLabelID(0) {
+			sum += len(g.EdgeRun(v, 0, true)) + g.OutDegree(v)
+		}
+		return sum
+	}
+	want := firstQuery(g)
+
+	dir := b.TempDir()
+	v2Path := filepath.Join(dir, "g.fsnap")
+	v1Path := filepath.Join(dir, "g1.fsnap")
+	var v2, v1 bytes.Buffer
+	if err := graph.WriteSnapshot(&v2, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := graph.WriteSnapshotV1(&v1, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(v2Path, v2.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(v1Path, v1.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("graph: %d nodes, %d edges; v2 snapshot %d bytes, v1 %d bytes",
+		g.NumNodes(), g.NumEdges(), v2.Len(), v1.Len())
+
+	b.Run("mapped", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := graph.OpenSnapshotMapped(v2Path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := firstQuery(m); got != want {
+				b.Fatalf("first query = %d, want %d", got, want)
+			}
+			b.StopTimer() // teardown is not part of open-to-first-query
+			if err := m.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	b.Run("v2-heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h, err := graph.ReadSnapshotFile(v2Path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := firstQuery(h); got != want {
+				b.Fatalf("first query = %d, want %d", got, want)
+			}
+		}
+	})
+	b.Run("v1-heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h, err := graph.ReadSnapshotFile(v1Path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := firstQuery(h); got != want {
+				b.Fatalf("first query = %d, want %d", got, want)
 			}
 		}
 	})

@@ -32,6 +32,12 @@ type column struct {
 	strs    []string  // kind == KindString
 	bools   []uint64  // kind == KindBool: value bitmap
 	vals    []Value   // mixed kinds
+
+	// refs/tab replace strs for string columns served from a mapped
+	// snapshot: refs[v] is a 1-based reference into the graph's lazily
+	// materialized string table (0 = absent). See storage.go.
+	refs []uint32
+	tab  *strTable
 }
 
 func bitGet(bm []uint64, i int) bool { return bm[i>>6]&(1<<uint(i&63)) != 0 }
@@ -52,6 +58,8 @@ func (c *column) value(v NodeID) Value {
 		return Num(c.nums[v])
 	case c.strs != nil:
 		return Str(c.strs[v])
+	case c.refs != nil:
+		return Str(c.tab.str(c.refs[v]))
 	default:
 		return Bool(bitGet(c.bools, int(v)))
 	}
@@ -63,7 +71,7 @@ func (c *column) bytes() int64 {
 	for _, s := range c.strs {
 		b += int64(len(s)) + 16
 	}
-	b += int64(len(c.vals)) * 32
+	b += int64(len(c.vals))*32 + int64(len(c.refs))*4
 	return b
 }
 
@@ -187,7 +195,7 @@ func (g *Graph) AttrValue(v NodeID, a AttrID) Value {
 	if g.frozen {
 		return g.cols[a].value(v)
 	}
-	for _, kv := range g.nodes[v].attrs {
+	for _, kv := range g.nodeAttrs[v] {
 		if kv.id == a {
 			return kv.val
 		}
@@ -199,12 +207,12 @@ func (g *Graph) AttrValue(v NodeID, a AttrID) Value {
 // typed columns and computes the active domains; it releases the row
 // storage afterwards (columns are the only post-freeze representation).
 func (g *Graph) buildColumns() {
-	n := len(g.nodes)
+	n := len(g.nodeLabels)
 	words := (n + 63) / 64
 	g.cols = make([]column, len(g.attrTable))
 	// First pass: presence, counts and kind uniformity.
-	for i := range g.nodes {
-		for _, kv := range g.nodes[i].attrs {
+	for i := range g.nodeAttrs {
+		for _, kv := range g.nodeAttrs[i] {
 			c := &g.cols[kv.id]
 			if c.present == nil {
 				c.present = make([]uint64, words)
@@ -233,9 +241,9 @@ func (g *Graph) buildColumns() {
 			c.vals = make([]Value, n)
 		}
 	}
-	// Second pass: fill the typed arrays and release the row storage.
-	for i := range g.nodes {
-		for _, kv := range g.nodes[i].attrs {
+	// Second pass: fill the typed arrays, then release the row storage.
+	for i := range g.nodeAttrs {
+		for _, kv := range g.nodeAttrs[i] {
 			c := &g.cols[kv.id]
 			switch {
 			case c.nums != nil:
@@ -250,10 +258,24 @@ func (g *Graph) buildColumns() {
 				c.vals[i] = kv.val
 			}
 		}
-		g.nodes[i].attrs = nil
 	}
-	// Active domains: sorted distinct present values per attribute.
-	g.domains = make([][]Value, len(g.cols))
+	g.nodeAttrs = nil
+	g.domains = g.computeDomains()
+	for a := range g.cols {
+		g.mem.ColumnBytes += g.cols[a].bytes()
+	}
+	g.attrNames = make([]string, len(g.attrTable))
+	copy(g.attrNames, g.attrTable)
+	sort.Strings(g.attrNames)
+}
+
+// computeDomains derives the active domains — sorted distinct present
+// values per attribute — by scanning the columns. Freeze calls it once;
+// the snapshot v2 loader keeps it as the fallback when the serialized
+// DOM2 section fails validation.
+func (g *Graph) computeDomains() [][]Value {
+	n := len(g.nodeLabels)
+	domains := make([][]Value, len(g.cols))
 	for a := range g.cols {
 		c := &g.cols[a]
 		vs := make([]Value, 0, c.count)
@@ -269,12 +291,9 @@ func (g *Graph) buildColumns() {
 				dedup = append(dedup, v)
 			}
 		}
-		g.domains[a] = dedup
-		g.mem.ColumnBytes += c.bytes()
+		domains[a] = dedup
 	}
-	g.attrNames = make([]string, len(g.attrTable))
-	copy(g.attrNames, g.attrTable)
-	sort.Strings(g.attrNames)
+	return domains
 }
 
 // buildIndexes constructs, for every (label, attribute) pair where the

@@ -11,6 +11,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node; IDs are dense and assigned in insertion order.
@@ -32,34 +33,47 @@ type LabelID int32
 // InvalidLabel is returned when a label has never been interned.
 const InvalidLabel LabelID = -1
 
-// nodeData is the per-node record. attrs holds the tuple only while the
-// graph is under construction; Freeze moves it into columns and nils it.
-type nodeData struct {
-	label LabelID
-	attrs []attrKV
-}
-
 // Graph is an attributed directed graph G = (V, E, L, T). Build it with
 // AddNode/AddEdge, then call Freeze to construct the indexes; a frozen
 // graph is immutable and safe for concurrent readers.
+//
+// Storage seam: every frozen field below the comment lines is a plain
+// slice (or a map of plain slices), so it can be served either from heap
+// arrays built by Freeze / the v1 snapshot decoder, or — for snapshot-v2
+// files opened with OpenSnapshotMapped — from views directly over the
+// memory-mapped file (see storage.go). The read API is identical either
+// way; only Close semantics differ.
 type Graph struct {
 	labels    []string
 	labelIDs  map[string]LabelID
 	attrTable []string // AttrID -> name, intern order
 	attrIDs   map[string]AttrID
-	nodes     []nodeData
-	out       [][]Edge
-	in        [][]Edge
-	numEdges  int
-	frozen    bool
-	byLabel   map[LabelID][]NodeID
-	cols      []column  // by AttrID; built at Freeze
-	domains   [][]Value // by AttrID; sorted distinct values
-	indexes   map[labelAttr][]NodeID
-	attrNames []string // sorted, for AttrNames
-	mem       MemoryStats
-	maxOutDeg int
-	maxInDeg  int
+	// nodeLabels is the per-node label array — the frozen truth about V.
+	// nodeAttrs carries the per-node attribute tuples only while the graph
+	// is under construction; Freeze transposes them into columns and drops
+	// the whole array.
+	nodeLabels []LabelID
+	nodeAttrs  [][]attrKV
+	out        [][]Edge
+	in         [][]Edge
+	numEdges   int
+	frozen     bool
+	byLabel    map[LabelID][]NodeID
+	cols       []column  // by AttrID; built at Freeze
+	domains    [][]Value // by AttrID; sorted distinct values
+	indexes    map[labelAttr][]NodeID
+	attrNames  []string // sorted, for AttrNames
+	mem        MemoryStats
+	maxOutDeg  int
+	maxInDeg   int
+
+	// backing, when non-nil, owns the byte buffer (heap or mmap) the
+	// frozen slices above alias; see storage.go. domFill/strTab implement
+	// the lazily-materialized domain and string sections of snapshot v2.
+	backing *snapBacking
+	strTab  *strTable
+	domOnce sync.Once
+	domFill func()
 
 	// Derived tables computed once per frozen graph (by Freeze or by the
 	// snapshot decoder — they are cheap to rebuild, so they are never
@@ -132,10 +146,13 @@ func (g *Graph) Grow(n int) {
 	if n > maxPreallocEntries {
 		n = maxPreallocEntries
 	}
-	if want := len(g.nodes) + n; want > cap(g.nodes) {
-		nodes := make([]nodeData, len(g.nodes), want)
-		copy(nodes, g.nodes)
-		g.nodes = nodes
+	if want := len(g.nodeLabels) + n; want > cap(g.nodeLabels) {
+		labels := make([]LabelID, len(g.nodeLabels), want)
+		copy(labels, g.nodeLabels)
+		g.nodeLabels = labels
+		attrs := make([][]attrKV, len(g.nodeAttrs), want)
+		copy(attrs, g.nodeAttrs)
+		g.nodeAttrs = attrs
 		out := make([][]Edge, len(g.out), want)
 		copy(out, g.out)
 		g.out = out
@@ -147,20 +164,21 @@ func (g *Graph) Grow(n int) {
 
 func (g *Graph) AddNode(label string, attrs map[string]Value) NodeID {
 	g.mustMutable("AddNode")
-	id := NodeID(len(g.nodes))
-	nd := nodeData{label: g.Intern(label)}
+	id := NodeID(len(g.nodeLabels))
+	var kvs []attrKV
 	if len(attrs) > 0 {
 		names := make([]string, 0, len(attrs))
 		for a := range attrs {
 			names = append(names, a)
 		}
 		sort.Strings(names)
-		nd.attrs = make([]attrKV, 0, len(names))
+		kvs = make([]attrKV, 0, len(names))
 		for _, a := range names {
-			nd.attrs = append(nd.attrs, attrKV{id: g.internAttr(a), val: attrs[a]})
+			kvs = append(kvs, attrKV{id: g.internAttr(a), val: attrs[a]})
 		}
 	}
-	g.nodes = append(g.nodes, nd)
+	g.nodeLabels = append(g.nodeLabels, g.Intern(label))
+	g.nodeAttrs = append(g.nodeAttrs, kvs)
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	return id
@@ -170,7 +188,7 @@ func (g *Graph) AddNode(label string, attrs map[string]Value) NodeID {
 func (g *Graph) AddEdge(from, to NodeID, label string) error {
 	g.mustMutable("AddEdge")
 	if !g.valid(from) || !g.valid(to) {
-		return fmt.Errorf("graph: AddEdge(%d, %d): node out of range [0,%d)", from, to, len(g.nodes))
+		return fmt.Errorf("graph: AddEdge(%d, %d): node out of range [0,%d)", from, to, len(g.nodeLabels))
 	}
 	l := g.Intern(label)
 	g.out[from] = append(g.out[from], Edge{To: to, Label: l})
@@ -179,7 +197,7 @@ func (g *Graph) AddEdge(from, to NodeID, label string) error {
 	return nil
 }
 
-func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.nodes) }
+func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.nodeLabels) }
 
 func (g *Graph) mustMutable(op string) {
 	if g.frozen {
@@ -195,8 +213,7 @@ func (g *Graph) Freeze() {
 		return
 	}
 	g.byLabel = make(map[LabelID][]NodeID)
-	for i := range g.nodes {
-		l := g.nodes[i].label
+	for i, l := range g.nodeLabels {
 		g.byLabel[l] = append(g.byLabel[l], NodeID(i))
 	}
 	g.buildColumns()
@@ -220,14 +237,14 @@ func (g *Graph) Freeze() {
 // the snapshot decoder calls it after restoring the frozen sections, so a
 // restored graph carries identical tables without serializing them.
 func (g *Graph) buildDerived() {
-	g.labelPos = make([]uint64, len(g.nodes))
+	g.labelPos = make([]uint64, len(g.nodeLabels))
 	for label, nodes := range g.byLabel {
 		for i, v := range nodes {
 			g.labelPos[v] = PackLabelPos(label, int32(i))
 		}
 	}
-	g.sigOut = make([]uint64, len(g.nodes))
-	g.sigIn = make([]uint64, len(g.nodes))
+	g.sigOut = make([]uint64, len(g.nodeLabels))
+	g.sigIn = make([]uint64, len(g.nodeLabels))
 	for v := range g.out {
 		for _, e := range g.out[v] {
 			g.sigOut[v] |= LabelSigBit(e.Label)
@@ -250,7 +267,7 @@ const maxRunTableEntries = 1 << 23
 func (g *Graph) buildRunTables() {
 	g.runStride, g.outRunStart, g.inRunStart = 0, nil, nil
 	stride := len(g.labels) + 1
-	if len(g.nodes) == 0 || len(g.nodes)*stride > maxRunTableEntries {
+	if len(g.nodeLabels) == 0 || len(g.nodeLabels)*stride > maxRunTableEntries {
 		return
 	}
 	g.runStride = stride
@@ -419,16 +436,16 @@ func sortEdges(es []Edge) {
 func (g *Graph) Frozen() bool { return g.frozen }
 
 // NumNodes returns |V|.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int { return len(g.nodeLabels) }
 
 // NumEdges returns |E|.
 func (g *Graph) NumEdges() int { return g.numEdges }
 
 // Label returns the node's label string.
-func (g *Graph) Label(v NodeID) string { return g.labels[g.nodes[v].label] }
+func (g *Graph) Label(v NodeID) string { return g.labels[g.nodeLabels[v]] }
 
 // LabelID returns the node's interned label.
-func (g *Graph) NodeLabelID(v NodeID) LabelID { return g.nodes[v].label }
+func (g *Graph) NodeLabelID(v NodeID) LabelID { return g.nodeLabels[v] }
 
 // Attr returns the node's value for attribute a (Null when absent). Hot
 // paths should resolve the name once via AttrIDOf and use AttrValue.
@@ -455,7 +472,7 @@ func (g *Graph) AttrPairs(v NodeID) []AttrPair {
 		}
 		return out
 	}
-	kvs := g.nodes[v].attrs
+	kvs := g.nodeAttrs[v]
 	out := make([]AttrPair, 0, len(kvs))
 	for _, kv := range kvs {
 		out = append(out, AttrPair{Name: g.attrTable[kv.id], Value: kv.val})
@@ -481,13 +498,13 @@ func (g *Graph) Attrs(v NodeID) map[string]Value {
 func (g *Graph) SetAttr(v NodeID, a string, val Value) {
 	g.mustMutable("SetAttr")
 	id := g.internAttr(a)
-	for i := range g.nodes[v].attrs {
-		if g.nodes[v].attrs[i].id == id {
-			g.nodes[v].attrs[i].val = val
+	for i := range g.nodeAttrs[v] {
+		if g.nodeAttrs[v][i].id == id {
+			g.nodeAttrs[v][i].val = val
 			return
 		}
 	}
-	g.nodes[v].attrs = append(g.nodes[v].attrs, attrKV{id: id, val: val})
+	g.nodeAttrs[v] = append(g.nodeAttrs[v], attrKV{id: id, val: val})
 }
 
 // Out returns the out-edges of v sorted by (label, target).
@@ -537,6 +554,16 @@ func (g *Graph) NodesByLabel(label string) []NodeID {
 // CountLabel returns |V(label)| on a frozen graph.
 func (g *Graph) CountLabel(label string) int { return len(g.NodesByLabel(label)) }
 
+// domainList returns the per-attribute active domains, materializing them
+// on first use for graphs loaded from a v2 snapshot (the DOM2 section is
+// decoded lazily; see storage.go).
+func (g *Graph) domainList() [][]Value {
+	if g.domFill != nil {
+		g.domOnce.Do(g.domFill)
+	}
+	return g.domains
+}
+
 // ActiveDomain returns adom(a): the sorted distinct values attribute a takes
 // over V. The slice is shared; callers must not mutate it.
 func (g *Graph) ActiveDomain(a string) []Value {
@@ -545,16 +572,17 @@ func (g *Graph) ActiveDomain(a string) []Value {
 	if !ok {
 		return nil
 	}
-	return g.domains[id]
+	return g.domainList()[id]
 }
 
 // ActiveDomainByID is ActiveDomain for an already-interned attribute.
 func (g *Graph) ActiveDomainByID(a AttrID) []Value {
 	g.mustFrozen("ActiveDomainByID")
-	if a < 0 || int(a) >= len(g.domains) {
+	doms := g.domainList()
+	if a < 0 || int(a) >= len(doms) {
 		return nil
 	}
-	return g.domains[a]
+	return doms[a]
 }
 
 // AttrNames returns the sorted names of all node attributes present in G.
@@ -567,7 +595,7 @@ func (g *Graph) AttrNames() []string {
 func (g *Graph) MaxActiveDomain() int {
 	g.mustFrozen("MaxActiveDomain")
 	m := 0
-	for _, d := range g.domains {
+	for _, d := range g.domainList() {
 		if len(d) > m {
 			m = len(d)
 		}

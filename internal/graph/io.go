@@ -41,8 +41,8 @@ func WriteJSON(w io.Writer, g *Graph) error {
 		Counts: &jsonCounts{Nodes: g.NumNodes(), Edges: g.NumEdges()},
 		Nodes:  make([]jsonNode, g.NumNodes()),
 	}
-	for i := range g.nodes {
-		n := jsonNode{ID: i, Label: g.labels[g.nodes[i].label]}
+	for i := range g.nodeLabels {
+		n := jsonNode{ID: i, Label: g.labels[g.nodeLabels[i]]}
 		if pairs := g.AttrPairs(NodeID(i)); len(pairs) > 0 {
 			n.Attrs = make(map[string]string, len(pairs))
 			for _, p := range pairs {
@@ -113,8 +113,8 @@ func WriteTSV(w io.Writer, g *Graph) error {
 	// A comment header with the counts: old readers skip it ('#' lines
 	// are comments), new ones use it as a clamped pre-allocation hint.
 	fmt.Fprintf(bw, "# fairsqg-graph nodes=%d edges=%d\n", g.NumNodes(), g.NumEdges())
-	for i := range g.nodes {
-		fmt.Fprintf(bw, "N\t%d\t%s", i, g.labels[g.nodes[i].label])
+	for i := range g.nodeLabels {
+		fmt.Fprintf(bw, "N\t%d\t%s", i, g.labels[g.nodeLabels[i]])
 		for _, p := range g.AttrPairs(NodeID(i)) {
 			fmt.Fprintf(bw, "\t%s=%s", p.Name, p.Value.String())
 		}

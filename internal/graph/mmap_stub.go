@@ -1,0 +1,16 @@
+//go:build !unix
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File) ([]byte, error) {
+	return nil, errors.New("graph: memory-mapped snapshots are not supported on this platform")
+}
+
+func munmapBytes(b []byte) error { return nil }

@@ -1,0 +1,40 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates OpenSnapshotMapped; on platforms without the build
+// tag the stub reports false and callers fall back to the heap decode.
+const mmapSupported = true
+
+// mmapFile maps the whole file read-only and shared. The returned slice
+// stays valid until munmapBytes; page-cache-resident pages cost no read
+// I/O, cold ones fault in on first access. On Linux the map is
+// pre-populated (mmapExtraFlags): the open's validation pass touches every
+// section anyway, and wiring the page tables in one syscall is far cheaper
+// than thousands of demand faults.
+func mmapFile(f *os.File) ([]byte, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, syscall.EFBIG
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED|mmapExtraFlags)
+}
+
+func munmapBytes(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,7 @@
+//go:build unix && !linux
+
+package graph
+
+// mmapExtraFlags: no portable pre-fault flag outside Linux; pages fault
+// in on first access.
+const mmapExtraFlags = 0

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"os"
 	"sort"
 )
 
@@ -28,22 +29,38 @@ import (
 //	table   count × { tag [4]byte, offset uint64, length uint64, crc uint32 }
 //	payloads, contiguous and in table order
 //
-// Sections appear in the fixed order of snapSectionOrder with contiguous
-// offsets; readers reject reordered, overlapping, truncated or trailing
-// bytes, and verify each section's CRC-32 (IEEE) before decoding it. The
-// string table (STRS) interns every string once — labels, attribute
-// names, string column values and domain values all reference it — so
-// categorical attributes cost one uvarint per occurrence on disk.
+// Sections appear in the fixed order of their version's section list with
+// contiguous offsets; readers reject reordered, overlapping, truncated or
+// trailing bytes, and (on the heap decode path) verify each section's
+// CRC-32 (IEEE) before decoding it.
 //
-// Versioning policy: the version is bumped on any layout change; readers
-// accept exactly the versions they know (currently only SnapshotVersion)
-// and fail loudly otherwise. Snapshots are a cache of a source graph, not
-// an archival format — on a version mismatch callers fall back to the
-// TSV/JSON source and rewrite the snapshot.
+// Two layouts share this framing:
+//
+//   - Version 1 (this file) is varint-packed: a leading string table
+//     (STRS) interns every string once and all later sections reference
+//     it, so categorical attributes cost one uvarint per occurrence on
+//     disk. It always decodes into heap slices.
+//   - Version 2 (snapshot_v2.go) is the mmap layout: every hot section is
+//     a little-endian fixed-width array at an 8-byte-aligned offset,
+//     usable in place as an []int32/[]uint64/[]float64 view over the
+//     mapped file; varint encoding is confined to a lazily-materialized
+//     string table and a small mixed-kind spill section.
+//
+// Versioning policy: WriteSnapshot emits SnapshotVersion (2); readers
+// accept both versions — v1 through the decode-to-heap path below (the
+// counted fallback the server reports as v1Fallbacks), v2 through the
+// view-based loader. OpenSnapshotMapped accepts only v2 and returns
+// ErrSnapshotVersion for v1 so callers can fall back to a heap decode.
+// Snapshots are a cache of a source graph, not an archival format — on an
+// unknown version callers fall back to the TSV/JSON source and rewrite
+// the snapshot.
 
-// SnapshotVersion is the format version WriteSnapshot emits and
-// ReadSnapshot accepts.
-const SnapshotVersion = 1
+// SnapshotVersion is the format version WriteSnapshot emits.
+const SnapshotVersion = 2
+
+// snapVersionV1 is the varint-packed decode-to-heap layout WriteSnapshotV1
+// emits; ReadSnapshot still accepts it.
+const snapVersionV1 = 1
 
 // snapMagic identifies a fairsqg graph snapshot file.
 const snapMagic = "FSQGSNAP"
@@ -69,10 +86,12 @@ const snapTableEntry = 4 + 8 + 8 + 4
 // snapValueOverhead is the minimum encoded size of one Value (kind byte).
 const snapValueOverhead = 1
 
-// WriteSnapshot serializes a frozen graph in the versioned binary
-// snapshot format. The write is deterministic: the same graph always
-// produces the same bytes.
-func WriteSnapshot(w io.Writer, g *Graph) error {
+// WriteSnapshotV1 serializes a frozen graph in the varint-packed version 1
+// layout. Kept for compatibility tooling (scripts/snapshot_compat.sh and
+// the fallback tests); new snapshots should use WriteSnapshot, which emits
+// the mappable version 2 layout. The write is deterministic: the same
+// graph always produces the same bytes.
+func WriteSnapshotV1(w io.Writer, g *Graph) error {
 	if !g.frozen {
 		return fmt.Errorf("graph: WriteSnapshot requires a frozen graph; call Freeze first")
 	}
@@ -97,7 +116,7 @@ func WriteSnapshot(w io.Writer, g *Graph) error {
 	var hdr bytes.Buffer
 	hdr.WriteString(snapMagic)
 	var u32 [4]byte
-	binary.LittleEndian.PutUint32(u32[:], SnapshotVersion)
+	binary.LittleEndian.PutUint32(u32[:], snapVersionV1)
 	hdr.Write(u32[:])
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(payloads)))
 	hdr.Write(u32[:])
@@ -165,7 +184,7 @@ func (e *snapEncoder) putValue(buf *bytes.Buffer, v Value) {
 
 func (e *snapEncoder) encodeMeta(g *Graph) []byte {
 	var buf bytes.Buffer
-	putUvarint(&buf, uint64(len(g.nodes)))
+	putUvarint(&buf, uint64(len(g.nodeLabels)))
 	putUvarint(&buf, uint64(g.numEdges))
 	putUvarint(&buf, uint64(len(g.labels)))
 	putUvarint(&buf, uint64(len(g.attrTable)))
@@ -187,8 +206,8 @@ func (e *snapEncoder) encodeStringRefs(ss []string) []byte {
 
 func (e *snapEncoder) encodeNodes(g *Graph) []byte {
 	var buf bytes.Buffer
-	for i := range g.nodes {
-		putUvarint(&buf, uint64(g.nodes[i].label))
+	for _, l := range g.nodeLabels {
+		putUvarint(&buf, uint64(l))
 	}
 	return buf.Bytes()
 }
@@ -208,6 +227,7 @@ func (e *snapEncoder) encodeAdjacency(adj [][]Edge) []byte {
 func (e *snapEncoder) encodeColumns(g *Graph) []byte {
 	var buf bytes.Buffer
 	var b8 [8]byte
+	n := len(g.nodeLabels)
 	for a := range g.cols {
 		c := &g.cols[a]
 		buf.WriteByte(byte(c.kind))
@@ -223,16 +243,24 @@ func (e *snapEncoder) encodeColumns(g *Graph) []byte {
 		// decoder scatters them back through the presence bitmap.
 		switch {
 		case c.nums != nil:
-			for i := range g.nodes {
+			for i := 0; i < n; i++ {
 				if c.has(NodeID(i)) {
 					binary.LittleEndian.PutUint64(b8[:], math.Float64bits(c.nums[i]))
 					buf.Write(b8[:])
 				}
 			}
 		case c.strs != nil:
-			for i := range g.nodes {
+			for i := 0; i < n; i++ {
 				if c.has(NodeID(i)) {
 					putUvarint(&buf, e.ref(c.strs[i]))
+				}
+			}
+		case c.refs != nil:
+			// Mapped graphs keep string columns as string-table refs;
+			// re-encoding (e.g. the cluster wire format) materializes them.
+			for i := 0; i < n; i++ {
+				if c.has(NodeID(i)) {
+					putUvarint(&buf, e.ref(c.tab.str(c.refs[i])))
 				}
 			}
 		case c.bools != nil:
@@ -241,7 +269,7 @@ func (e *snapEncoder) encodeColumns(g *Graph) []byte {
 				buf.Write(b8[:])
 			}
 		default:
-			for i := range g.nodes {
+			for i := 0; i < n; i++ {
 				if c.has(NodeID(i)) {
 					e.putValue(&buf, c.vals[i])
 				}
@@ -253,7 +281,7 @@ func (e *snapEncoder) encodeColumns(g *Graph) []byte {
 
 func (e *snapEncoder) encodeDomains(g *Graph) []byte {
 	var buf bytes.Buffer
-	for _, dom := range g.domains {
+	for _, dom := range g.domainList() {
 		putUvarint(&buf, uint64(len(dom)))
 		for _, v := range dom {
 			e.putValue(&buf, v)
@@ -330,6 +358,18 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 	return readSnapshotBytes(data)
 }
 
+// ReadSnapshotFile is ReadSnapshot for a local file: it stats the file and
+// reads it in one pre-sized allocation instead of growing a buffer through
+// an io.Reader copy, then decodes from that buffer. Both snapshot versions
+// are accepted.
+func ReadSnapshotFile(path string) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading snapshot %s: %w", path, err)
+	}
+	return readSnapshotBytes(data)
+}
+
 // snapSection is one decoded section-table entry plus its payload.
 type snapSection struct {
 	tag     string
@@ -337,20 +377,25 @@ type snapSection struct {
 	crc     uint32
 }
 
-func readSnapshotBytes(data []byte) (*Graph, error) {
+// snapVersionOf validates the magic and returns the header's version.
+func snapVersionOf(data []byte) (uint32, error) {
 	if len(data) < snapHeaderBase {
-		return nil, fmt.Errorf("graph: snapshot too short (%d bytes)", len(data))
+		return 0, fmt.Errorf("graph: snapshot too short (%d bytes)", len(data))
 	}
 	if string(data[:8]) != snapMagic {
-		return nil, fmt.Errorf("graph: bad snapshot magic %q", data[:8])
+		return 0, fmt.Errorf("graph: bad snapshot magic %q", data[:8])
 	}
-	version := binary.LittleEndian.Uint32(data[8:12])
-	if version != SnapshotVersion {
-		return nil, fmt.Errorf("graph: unsupported snapshot version %d (this build reads version %d)", version, SnapshotVersion)
-	}
+	return binary.LittleEndian.Uint32(data[8:12]), nil
+}
+
+// parseSnapSections validates the framing — section table against the
+// version's canonical order, contiguous offsets, no truncation, no
+// trailing bytes — and returns the sections keyed by tag. Payloads alias
+// data.
+func parseSnapSections(data []byte, order []string) (map[string]*snapSection, error) {
 	count := binary.LittleEndian.Uint32(data[12:16])
-	if int(count) != len(snapSectionOrder) {
-		return nil, fmt.Errorf("graph: snapshot has %d sections, version %d defines %d", count, version, len(snapSectionOrder))
+	if int(count) != len(order) {
+		return nil, fmt.Errorf("graph: snapshot has %d sections, this version defines %d", count, len(order))
 	}
 	tableEnd := snapHeaderBase + snapTableEntry*int(count)
 	if len(data) < tableEnd {
@@ -364,8 +409,8 @@ func readSnapshotBytes(data []byte) (*Graph, error) {
 		offset := binary.LittleEndian.Uint64(ent[4:12])
 		length := binary.LittleEndian.Uint64(ent[12:20])
 		crc := binary.LittleEndian.Uint32(ent[20:24])
-		if tag != snapSectionOrder[i] {
-			return nil, fmt.Errorf("graph: snapshot section %d is %q, want %q (unknown or out of order)", i, tag, snapSectionOrder[i])
+		if tag != order[i] {
+			return nil, fmt.Errorf("graph: snapshot section %d is %q, want %q (unknown or out of order)", i, tag, order[i])
 		}
 		if offset != running {
 			return nil, fmt.Errorf("graph: snapshot section %s at offset %d, want %d (sections must be contiguous)", tag, offset, running)
@@ -379,12 +424,35 @@ func readSnapshotBytes(data []byte) (*Graph, error) {
 	if running != uint64(len(data)) {
 		return nil, fmt.Errorf("graph: snapshot carries %d trailing bytes after the last section", uint64(len(data))-running)
 	}
-	dec := &snapDecoder{sections: sections}
-	g, err := dec.decode()
+	return sections, nil
+}
+
+func readSnapshotBytes(data []byte) (*Graph, error) {
+	version, err := snapVersionOf(data)
 	if err != nil {
 		return nil, err
 	}
-	return g, nil
+	switch version {
+	case snapVersionV1:
+		sections, err := parseSnapSections(data, snapSectionOrder)
+		if err != nil {
+			return nil, err
+		}
+		dec := &snapDecoder{sections: sections}
+		return dec.decode()
+	case SnapshotVersion:
+		// The v2 loader serves fixed-width sections as views over the
+		// buffer, which requires 8-byte base alignment; heap buffers are
+		// realigned by copy in the (rare) case the allocator misaligned one.
+		data = alignSnapshotBuffer(data)
+		sections, err := parseSnapSections(data, snapSectionOrderV2)
+		if err != nil {
+			return nil, err
+		}
+		return decodeSnapshotV2(data, sections, nil, true)
+	default:
+		return nil, fmt.Errorf("graph: unsupported snapshot version %d (this build reads versions %d and %d)", version, snapVersionV1, SnapshotVersion)
+	}
 }
 
 // snapDecoder decodes the canonical sections in dependency order. The
@@ -693,9 +761,9 @@ func (d *snapDecoder) decodeNodes(g *Graph, meta *snapMeta) error {
 		return err
 	}
 	if meta.nodes > 0 {
-		g.nodes = make([]nodeData, meta.nodes)
+		g.nodeLabels = make([]LabelID, meta.nodes)
 	}
-	for i := range g.nodes {
+	for i := range g.nodeLabels {
 		l, err := d.uvarint()
 		if err != nil {
 			return err
@@ -703,7 +771,7 @@ func (d *snapDecoder) decodeNodes(g *Graph, meta *snapMeta) error {
 		if l >= uint64(meta.labels) {
 			return d.errf("node %d label %d out of range [0,%d)", i, l, meta.labels)
 		}
-		g.nodes[i].label = LabelID(l)
+		g.nodeLabels[i] = LabelID(l)
 	}
 	return d.leave()
 }
@@ -913,8 +981,8 @@ func (d *snapDecoder) decodeByLabel(g *Graph, meta *snapMeta) error {
 			if v >= uint64(meta.nodes) {
 				return d.errf("label %d member %d out of range [0,%d)", lb, v, meta.nodes)
 			}
-			if g.nodes[v].label != LabelID(lb) {
-				return d.errf("node %d filed under label %d but carries label %d", v, lb, g.nodes[v].label)
+			if g.nodeLabels[v] != LabelID(lb) {
+				return d.errf("node %d filed under label %d but carries label %d", v, lb, g.nodeLabels[v])
 			}
 			if j > 0 && nodes[j-1] >= NodeID(v) {
 				return d.errf("label %d members not strictly ascending at position %d", lb, j)
@@ -975,8 +1043,8 @@ func (d *snapDecoder) decodeIndexes(g *Graph, meta *snapMeta) error {
 			if v >= uint64(meta.nodes) {
 				return d.errf("index (%d, %d) entry %d out of range [0,%d)", lb, at, v, meta.nodes)
 			}
-			if g.nodes[v].label != key.label {
-				return d.errf("index (%d, %d) lists node %d of label %d", lb, at, v, g.nodes[v].label)
+			if g.nodeLabels[v] != key.label {
+				return d.errf("index (%d, %d) lists node %d of label %d", lb, at, v, g.nodeLabels[v])
 			}
 			perm[j] = NodeID(v)
 			if j > 0 {

@@ -44,6 +44,21 @@ func FuzzReadSnapshot(f *testing.F) {
 		copy(a, b)
 		copy(b, tmp)
 		f.Add(reordered)
+		misaligned := bytes.Clone(valid) // nudge a section offset off 8-alignment
+		misaligned[snapHeaderBase+snapTableEntry+4]++
+		f.Add(misaligned)
+		forged := bytes.Clone(valid) // forge the MET2 node count sky-high
+		forged[snapHeaderBase+snapTableEntry*len(snapSectionOrderV2)+5] = 0xff
+		f.Add(forged)
+
+		// The version 1 layout stays readable through the fallback path;
+		// keep its decoder in the fuzz corpus too.
+		var v1 bytes.Buffer
+		if err := WriteSnapshotV1(&v1, gr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v1.Bytes())
+		f.Add(v1.Bytes()[:len(v1.Bytes())*3/4])
 	}
 	f.Add([]byte(snapMagic))
 	f.Add([]byte("not a snapshot at all"))

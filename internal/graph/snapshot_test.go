@@ -130,8 +130,8 @@ func assertGraphDeepEqual(t testing.TB, want, got *Graph) {
 	if !reflect.DeepEqual(want.attrNames, got.attrNames) {
 		t.Fatalf("attrNames differ: %v vs %v", want.attrNames, got.attrNames)
 	}
-	if !reflect.DeepEqual(want.nodes, got.nodes) {
-		t.Fatalf("per-node records differ")
+	if !reflect.DeepEqual(want.nodeLabels, got.nodeLabels) {
+		t.Fatalf("per-node labels differ")
 	}
 	if !reflect.DeepEqual(want.out, got.out) {
 		t.Fatalf("out-adjacency differs")
@@ -166,7 +166,15 @@ func assertGraphDeepEqual(t testing.TB, want, got *Graph) {
 		if !floatsBitEqual(w.nums, g.nums) {
 			t.Fatalf("column %q float payload differs", name)
 		}
-		if !reflect.DeepEqual(w.strs, g.strs) {
+		if w.refs != nil || g.refs != nil {
+			// Mapped graphs keep string columns as string-table refs;
+			// compare what nodes actually read instead of the raw arrays.
+			for v := 0; v < len(want.nodeLabels); v++ {
+				if w.value(NodeID(v)) != g.value(NodeID(v)) {
+					t.Fatalf("column %q string value differs at node %d", name, v)
+				}
+			}
+		} else if !reflect.DeepEqual(w.strs, g.strs) {
 			t.Fatalf("column %q string payload differs", name)
 		}
 		if !reflect.DeepEqual(w.bools, g.bools) {
@@ -176,12 +184,13 @@ func assertGraphDeepEqual(t testing.TB, want, got *Graph) {
 			t.Fatalf("column %q mixed payload differs", name)
 		}
 	}
-	if len(want.domains) != len(got.domains) {
-		t.Fatalf("domains count %d vs %d", len(want.domains), len(got.domains))
+	wantDoms, gotDoms := want.domainList(), got.domainList()
+	if len(wantDoms) != len(gotDoms) {
+		t.Fatalf("domains count %d vs %d", len(wantDoms), len(gotDoms))
 	}
-	for a := range want.domains {
-		if !valueSlicesBitEqual(want.domains[a], got.domains[a]) {
-			t.Fatalf("active domain of %q differs:\n%v\n%v", want.attrTable[a], want.domains[a], got.domains[a])
+	for a := range wantDoms {
+		if !valueSlicesBitEqual(wantDoms[a], gotDoms[a]) {
+			t.Fatalf("active domain of %q differs:\n%v\n%v", want.attrTable[a], wantDoms[a], gotDoms[a])
 		}
 	}
 	if len(want.indexes) != len(got.indexes) {
@@ -337,10 +346,10 @@ func TestSnapshotRejectsReorderedSections(t *testing.T) {
 	}
 }
 
-// TestSnapshotRejectsForgedCounts forges the META node count upward and
-// asserts the decoder fails on the cross-check against real section sizes
-// instead of allocating for the forged count. (CRCs are recomputed so the
-// forgery reaches the size validation.)
+// TestSnapshotRejectsForgedCounts forges the MET2 node count upward and
+// asserts the decoder fails validation instead of allocating or slicing
+// for the forged count. (CRCs are recomputed so the forgery reaches the
+// semantic checks, not the checksum pass.)
 func TestSnapshotRejectsForgedCounts(t *testing.T) {
 	g := snapshotTestGraph(t, 17, 30)
 	var buf bytes.Buffer
@@ -349,33 +358,39 @@ func TestSnapshotRejectsForgedCounts(t *testing.T) {
 	}
 	data := buf.Bytes()
 
-	// Decode the table to find META, rewrite its first uvarint (node
-	// count) to a huge value, then rebuild the file with fresh offsets
-	// and CRCs.
-	count := int(binary.LittleEndian.Uint32(data[12:16]))
-	var sections []rawSection
-	for i := 0; i < count; i++ {
-		ent := data[snapHeaderBase+snapTableEntry*i:]
-		off := binary.LittleEndian.Uint64(ent[4:12])
-		l := binary.LittleEndian.Uint64(ent[12:20])
-		sections = append(sections, rawSection{tag: string(ent[:4]), payload: data[off : off+l]})
-	}
-	for i, s := range sections {
-		if s.tag != "META" {
-			continue
+	forge := func(nodes uint64) []byte {
+		count := int(binary.LittleEndian.Uint32(data[12:16]))
+		var sections []rawSection
+		for i := 0; i < count; i++ {
+			ent := data[snapHeaderBase+snapTableEntry*i:]
+			off := binary.LittleEndian.Uint64(ent[4:12])
+			l := binary.LittleEndian.Uint64(ent[12:20])
+			payload := data[off : off+l]
+			if string(ent[:4]) == "MET2" {
+				forged := make([]byte, len(payload))
+				copy(forged, payload)
+				binary.LittleEndian.PutUint64(forged, nodes) // field 0: node count
+				payload = forged
+			}
+			sections = append(sections, rawSection{tag: string(ent[:4]), payload: payload})
 		}
-		_, n := binary.Uvarint(s.payload)
-		forged := binary.AppendUvarint(nil, 1<<40) // ~10^12 nodes
-		forged = append(forged, s.payload[n:]...)
-		sections[i].payload = forged
+		return rebuildSnapshot(t, sections)
 	}
-	out := rebuildSnapshot(t, sections)
-	_, err := ReadSnapshot(bytes.NewReader(out))
+
+	// A huge forgery must die on the id-space range check, naming MET2,
+	// before any forged-sized allocation happens.
+	_, err := ReadSnapshot(bytes.NewReader(forge(1 << 40)))
 	if err == nil {
 		t.Fatal("forged node count accepted")
 	}
-	if !strings.Contains(err.Error(), "META") {
-		t.Fatalf("forged count reported as %q; want a META validation error", err)
+	if !strings.Contains(err.Error(), "MET2") {
+		t.Fatalf("forged count reported as %q; want a MET2 validation error", err)
+	}
+
+	// An off-by-one forgery passes the range check and must instead fail
+	// the cross-check against the real fixed-width section sizes.
+	if _, err := ReadSnapshot(bytes.NewReader(forge(uint64(len(g.nodeLabels)) + 1))); err == nil {
+		t.Fatal("off-by-one forged node count accepted")
 	}
 }
 

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// View helpers: reinterpret a fixed-width little-endian section of a
+// snapshot v2 buffer as a typed slice. On little-endian hosts (every
+// supported production target) the cast is zero-copy — the returned slice
+// aliases the buffer, which is what makes mapped open O(open). On a
+// big-endian host the helpers transparently decode into a fresh heap
+// slice instead, trading the zero-copy property for correctness.
+//
+// Callers guarantee 8-byte alignment of b's base: v2 section offsets are
+// multiples of 8 from the file start, the mmap base is page-aligned, and
+// heap buffers go through alignSnapshotBuffer.
+
+// hostLittleEndian reports whether the host's native integer byte order
+// matches the snapshot's on-disk order.
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// alignSnapshotBuffer returns data 8-byte aligned, copying into a fresh
+// uint64-backed buffer in the (allocator-dependent, practically never
+// taken) case the byte slice's base is misaligned.
+func alignSnapshotBuffer(data []byte) []byte {
+	if len(data) == 0 || uintptr(unsafe.Pointer(&data[0]))%8 == 0 {
+		return data
+	}
+	buf := make([]uint64, (len(data)+7)/8)
+	aligned := unsafe.Slice((*byte)(unsafe.Pointer(&buf[0])), len(buf)*8)[:len(data)]
+	copy(aligned, data)
+	return aligned
+}
+
+func viewU64(b []byte) []uint64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
+}
+
+func viewF64(b []byte) []float64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func viewI32(b []byte) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func viewU32(b []byte) []uint32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out
+}
+
+func viewLabelIDs(b []byte) []LabelID {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*LabelID)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]LabelID, n)
+	for i := range out {
+		out[i] = LabelID(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func viewNodeIDs(b []byte) []NodeID {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*NodeID)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]NodeID, n)
+	for i := range out {
+		out[i] = NodeID(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// viewEdges reinterprets 8-byte {To int32, Label int32} records. Edge is
+// exactly that layout in memory, so the little-endian cast is direct.
+func viewEdges(b []byte) []Edge {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*Edge)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]Edge, n)
+	for i := range out {
+		out[i].To = NodeID(binary.LittleEndian.Uint32(b[8*i:]))
+		out[i].Label = LabelID(binary.LittleEndian.Uint32(b[8*i+4:]))
+	}
+	return out
+}

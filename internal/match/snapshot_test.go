@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -28,6 +30,91 @@ func snapshotCopy(t testing.TB, g *graph.Graph) *graph.Graph {
 		t.Fatalf("ReadSnapshot: %v", err)
 	}
 	return got
+}
+
+// mappedCopy round-trips a frozen graph through a snapshot file opened
+// with OpenSnapshotMapped, so the differential tests below also prove the
+// zero-copy storage layer: matching over mmap-backed sections must be
+// indistinguishable from matching over heap slices.
+func mappedCopy(t testing.TB, g *graph.Graph) *graph.Graph {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.fsnap")
+	var buf bytes.Buffer
+	if err := graph.WriteSnapshot(&buf, g); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := graph.OpenSnapshotMapped(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshotMapped: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := m.Close(); err != nil {
+			t.Errorf("closing mapped graph: %v", err)
+		}
+	})
+	return m
+}
+
+// TestMatcherMappedDifferential: the talent grid over a mapped graph must
+// produce byte-identical results and identical access-path counters to the
+// heap-built original.
+func TestMatcherMappedDifferential(t *testing.T) {
+	orig := talentGraph(t)
+	mapped := mappedCopy(t, orig)
+	tpl := talentTpl(t)
+
+	mOrig := New(orig)
+	mMap := New(mapped)
+	for _, in := range []query.Instantiation{
+		{query.Wildcard, query.Wildcard, 0},
+		{0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
+		{query.Wildcard, query.Wildcard, 1},
+	} {
+		q := query.MustInstance(tpl, in)
+		want := mOrig.EvalOutput(q)
+		got := mMap.EvalOutput(q)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("instantiation %v: mapped copy returned %v, original %v", in, got, want)
+		}
+	}
+	if mOrig.Stats != mMap.Stats {
+		t.Errorf("matcher stats diverge: original %+v, mapped %+v", mOrig.Stats, mMap.Stats)
+	}
+}
+
+// TestSelectCandidatesMappedDifferential sweeps the index-selection matrix
+// against a mapped copy: same candidates, same Index/ScanSelections split.
+func TestSelectCandidatesMappedDifferential(t *testing.T) {
+	orig := indexSelectionGraph(t)
+	mapped := mappedCopy(t, orig)
+	mOrig := New(orig)
+	mMap := New(mapped)
+
+	bounds := map[string][]graph.Value{
+		"score": {graph.Int(5), graph.Int(15), graph.Int(99), graph.Null, graph.Num(math.NaN())},
+		"name":  {graph.Str(""), graph.Str("ann"), graph.Str("zzz"), graph.Null},
+		"flag":  {graph.Bool(false), graph.Bool(true), graph.Null},
+		"mix":   {graph.Int(1), graph.Str("x"), graph.Null},
+	}
+	for attr, bs := range bounds {
+		for _, op := range []graph.Op{graph.OpLT, graph.OpLE, graph.OpEQ, graph.OpGE, graph.OpGT} {
+			for _, bound := range bs {
+				raw := []query.BoundLiteral{{Attr: attr, Op: op, Value: bound}}
+				want := mOrig.selectCandidates("Person", query.CompileLiterals(orig, raw))
+				got := mMap.selectCandidates("Person", query.CompileLiterals(mapped, raw))
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("Person[%s %s %v]: mapped %v, original %v", attr, op, bound, got, want)
+				}
+			}
+		}
+	}
+	if mOrig.Stats.IndexSelections != mMap.Stats.IndexSelections ||
+		mOrig.Stats.ScanSelections != mMap.Stats.ScanSelections {
+		t.Errorf("access paths diverge: original %+v, mapped %+v", mOrig.Stats, mMap.Stats)
+	}
 }
 
 // TestMatcherSnapshotDifferential runs the full talent instantiation grid

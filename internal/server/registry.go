@@ -49,11 +49,23 @@ type GraphInfo struct {
 // Registry holds named, frozen graphs and hands out ref-counted handles.
 // Loading happens once per graph; every request afterwards shares the
 // frozen structure and the per-graph match engine.
+//
+// Teardown of snapshot-backed resources is delegated to the graph's own
+// backing-store reference count: the registry holds one reference per
+// entry (dropped by Remove or closeAll), and every Handle holds one more
+// (Acquire pairs graph.Retain with Release's graph.Close). For mapped
+// graphs the underlying file mapping is therefore unmapped exactly when
+// the entry is gone AND the last in-flight job releases its handle; for
+// heap graphs all of this is a no-op.
 type Registry struct {
 	mu      sync.Mutex
 	graphs  map[string]*graphEntry
 	workers int
 	cache   int
+	// putMu serializes Put/Remove so a mapped-mode Put can persist the
+	// snapshot and reopen it mapped without racing another registration
+	// of the same name (Acquire/Release only take mu and are unaffected).
+	putMu sync.Mutex
 	// disableAttrIndex and order propagate the ablation knobs to every
 	// per-graph engine created by Put.
 	disableAttrIndex bool
@@ -75,15 +87,26 @@ func NewRegistry(workers, cacheSize int) *Registry {
 // Put registers a frozen graph under name, rejecting duplicates. When a
 // snapshot store is attached, the frozen layout is persisted (atomic
 // temp-file + rename) so the next startup restores the graph without
-// re-parsing or re-freezing.
+// re-parsing or re-freezing. In mapped mode the freshly saved snapshot is
+// immediately reopened memory-mapped and the mapped graph is what gets
+// registered, so an uploaded graph's heap copy is garbage the moment Put
+// returns; if the save or reopen fails the heap graph serves as-is.
 func (r *Registry) Put(name string, g *graph.Graph) error {
-	if err := r.put(name, g); err != nil {
+	r.putMu.Lock()
+	defer r.putMu.Unlock()
+	if err := r.check(name, g); err != nil {
 		return err
 	}
 	if r.snaps != nil {
-		r.snaps.save(name, g)
+		if r.snaps.save(name, g) && r.snaps.mmap {
+			if mg, err := r.snaps.load(name); err == nil {
+				g = mg
+			} else {
+				r.snaps.logf("snapshot reopen %s: %v (serving from heap)", name, err)
+			}
+		}
 	}
-	return nil
+	return r.put(name, g)
 }
 
 // putRestored registers a graph decoded from its own snapshot; identical
@@ -93,12 +116,26 @@ func (r *Registry) putRestored(name string, g *graph.Graph) error {
 	return r.put(name, g)
 }
 
-func (r *Registry) put(name string, g *graph.Graph) error {
+// check validates a registration without inserting, so Put can reject
+// before persisting anything.
+func (r *Registry) check(name string, g *graph.Graph) error {
 	if !graphNameRe.MatchString(name) {
 		return fmt.Errorf("server: invalid graph name %q (want [A-Za-z0-9._-]{1,64})", name)
 	}
 	if g == nil || !g.Frozen() {
 		return fmt.Errorf("server: graph %q must be frozen", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.graphs[name]; dup {
+		return fmt.Errorf("server: graph %q already registered", name)
+	}
+	return nil
+}
+
+func (r *Registry) put(name string, g *graph.Graph) error {
+	if err := r.check(name, g); err != nil {
+		return err
 	}
 	entry := &graphEntry{
 		name: name,
@@ -146,19 +183,24 @@ func (r *Registry) Read(name, format string, rd io.Reader) error {
 
 // LoadFile reads a graph file (format by extension: .json is JSON,
 // .fsnap a binary snapshot, anything else TSV) and registers it; used by
-// the daemon's -graph flag.
+// the daemon's -graph flag. Snapshot files take the file-backed fast path
+// (sized read, no io.Reader growth).
 func (r *Registry) LoadFile(name, path string) error {
+	if strings.HasSuffix(strings.ToLower(path), snapExt) {
+		g, err := graph.ReadSnapshotFile(path)
+		if err != nil {
+			return err
+		}
+		return r.Put(name, g)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	format := "tsv"
-	switch {
-	case strings.HasSuffix(strings.ToLower(path), ".json"):
+	if strings.HasSuffix(strings.ToLower(path), ".json") {
 		format = "json"
-	case strings.HasSuffix(strings.ToLower(path), snapExt):
-		format = "snapshot"
 	}
 	return r.Read(name, format, f)
 }
@@ -181,16 +223,23 @@ func (h *Handle) Engine() *match.Engine { return h.entry.engine }
 // Name returns the graph's registry name.
 func (h *Handle) Name() string { return h.entry.name }
 
-// Release drops the lease; it is idempotent.
+// Release drops the lease; it is idempotent. For mapped graphs this also
+// drops the lease's backing-store reference — the file mapping goes away
+// when the last release meets an already-removed entry.
 func (h *Handle) Release() {
 	h.once.Do(func() {
 		h.r.mu.Lock()
 		h.entry.refs--
 		h.r.mu.Unlock()
+		if err := h.entry.g.Close(); err != nil && h.r.snaps != nil {
+			h.r.snaps.logf("snapshot unmap %s: %v", h.entry.name, err)
+		}
 	})
 }
 
-// Acquire leases a registered graph by name.
+// Acquire leases a registered graph by name. The lease pins the graph's
+// backing store (mmap region for mapped graphs): reads through the handle
+// stay valid even if the graph is removed from the registry mid-job.
 func (r *Registry) Acquire(name string) (*Handle, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -199,13 +248,16 @@ func (r *Registry) Acquire(name string) (*Handle, error) {
 		return nil, fmt.Errorf("server: graph %q not registered", name)
 	}
 	entry.refs++
+	entry.g.Retain()
 	return &Handle{r: r, entry: entry}, nil
 }
 
 // Remove unregisters a graph and deletes its snapshot, if any. Existing
-// handles remain valid; the entry's memory is reclaimed once the last one
-// releases.
+// handles remain valid; the entry's memory — including any file mapping —
+// is reclaimed once the last one releases.
 func (r *Registry) Remove(name string) error {
+	r.putMu.Lock()
+	defer r.putMu.Unlock()
 	r.mu.Lock()
 	entry, ok := r.graphs[name]
 	if ok {
@@ -216,10 +268,41 @@ func (r *Registry) Remove(name string) error {
 	if !ok {
 		return fmt.Errorf("server: graph %q not registered", name)
 	}
+	r.dropEntry(entry)
 	if r.snaps != nil {
 		r.snaps.remove(name)
 	}
 	return nil
+}
+
+// dropEntry releases the registry's own backing-store reference for an
+// entry already unlinked from the map (outstanding handles keep theirs).
+func (r *Registry) dropEntry(entry *graphEntry) {
+	if r.snaps != nil {
+		r.snaps.unmapped(entry.g)
+	}
+	if err := entry.g.Close(); err != nil && r.snaps != nil {
+		r.snaps.logf("snapshot unmap %s: %v", entry.name, err)
+	}
+}
+
+// closeAll unregisters every graph and drops the registry's references,
+// for server shutdown after the job manager has drained; snapshot files
+// stay on disk for the next warm start.
+func (r *Registry) closeAll() {
+	r.putMu.Lock()
+	defer r.putMu.Unlock()
+	r.mu.Lock()
+	entries := make([]*graphEntry, 0, len(r.graphs))
+	for name, e := range r.graphs {
+		e.removed = true
+		entries = append(entries, e)
+		delete(r.graphs, name)
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		r.dropEntry(e)
+	}
 }
 
 // Info returns one graph's summary.

@@ -46,6 +46,14 @@ type Options struct {
 	// skipped (and partial ones cleaned), so a crash mid-write only costs
 	// the warm start for that graph, never correctness.
 	SnapshotDir string
+	// MmapGraphs switches the snapshot store (SnapshotDir must be set) to
+	// memory-mapped graph serving: restored and uploaded graphs are opened
+	// with graph.OpenSnapshotMapped instead of decoded to the heap, so
+	// startup is O(open) per graph and resident memory is bounded by the
+	// pages queries actually touch — graphs larger than RAM serve fine.
+	// Version 1 snapshot files fall back to the heap decoder (counted in
+	// /metrics as storage.snapshots.v1Fallbacks).
+	MmapGraphs bool
 	// RequireGraph makes /readyz fail until a graph is registered.
 	RequireGraph bool
 	// Cluster, when set, puts the server in coordinator mode: par jobs
@@ -90,7 +98,7 @@ func New(opts Options) *Server {
 	s.reg.order = opts.Order
 	s.logger = opts.Logger
 	if opts.SnapshotDir != "" {
-		snaps, err := newSnapshotStore(opts.SnapshotDir, opts.Logger)
+		snaps, err := newSnapshotStore(opts.SnapshotDir, opts.MmapGraphs, opts.Logger)
 		if err != nil && s.logger != nil {
 			s.logger.Printf("snapshots disabled: %v", err)
 		}
@@ -124,11 +132,16 @@ func (s *Server) Jobs() *Manager { return s.jobs }
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Shutdown stops intake and drains the job manager; see Manager.Shutdown
-// for the deadline semantics.
+// Shutdown stops intake, drains the job manager (see Manager.Shutdown for
+// the deadline semantics), then tears down the registry: every graph's
+// registry reference is dropped, which for mapped graphs unmaps the
+// snapshot files once the drained jobs' handles are gone. Snapshot files
+// themselves stay on disk for the next warm start.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.jobs.Shutdown(ctx)
+	err := s.jobs.Shutdown(ctx)
+	s.reg.closeAll()
+	return err
 }
 
 // MetricsSnapshot renders the /metrics document: job counters and

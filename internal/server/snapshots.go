@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -30,21 +31,30 @@ const (
 type snapshotStore struct {
 	dir    string
 	logger printfLogger
+	// mmap switches load from decode-to-heap to graph.OpenSnapshotMapped:
+	// graphs are served straight from the page cache, restore cost is
+	// O(open) instead of O(graph), and resident memory stays bounded by
+	// what queries actually touch. Version 1 files, which have no mapped
+	// layout, silently fall back to the heap decoder (counted).
+	mmap bool
 
-	loads      atomic.Int64 // snapshots decoded successfully
-	writes     atomic.Int64 // snapshots persisted successfully
-	writeFails atomic.Int64 // persist attempts that errored
-	fallbacks  atomic.Int64 // corrupt/unreadable snapshots skipped on restore
-	tmpCleaned atomic.Int64 // partial .tmp files removed on restore
-	loadNanos  atomic.Int64 // cumulative decode wall time
+	loads       atomic.Int64 // snapshots decoded successfully
+	writes      atomic.Int64 // snapshots persisted successfully
+	writeFails  atomic.Int64 // persist attempts that errored
+	fallbacks   atomic.Int64 // corrupt/unreadable snapshots skipped on restore
+	tmpCleaned  atomic.Int64 // partial .tmp files removed on restore
+	loadNanos   atomic.Int64 // cumulative decode wall time
+	mmapLoads   atomic.Int64 // snapshots opened memory-mapped
+	mappedBytes atomic.Int64 // bytes currently memory-mapped via this store
+	v1Fallbacks atomic.Int64 // v1 snapshots decoded to heap in mmap mode
 }
 
 // newSnapshotStore creates dir if needed and returns a store over it.
-func newSnapshotStore(dir string, logger printfLogger) (*snapshotStore, error) {
+func newSnapshotStore(dir string, mmap bool, logger printfLogger) (*snapshotStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: snapshot dir: %w", err)
 	}
-	return &snapshotStore{dir: dir, logger: logger}, nil
+	return &snapshotStore{dir: dir, mmap: mmap, logger: logger}, nil
 }
 
 // path maps a registry name to its snapshot file. Names already match
@@ -60,10 +70,10 @@ func (st *snapshotStore) logf(format string, args ...any) {
 	}
 }
 
-// save writes g's snapshot atomically under name. Errors are counted and
-// logged, not returned: persistence is an optimization, never a reason to
-// reject a registration.
-func (st *snapshotStore) save(name string, g *graph.Graph) {
+// save writes g's snapshot atomically under name, reporting success.
+// Errors are counted and logged, not returned: persistence is an
+// optimization, never a reason to reject a registration.
+func (st *snapshotStore) save(name string, g *graph.Graph) bool {
 	tmp := st.path(name) + ".tmp" // ends in snapTmpExt
 	err := func() error {
 		f, err := os.Create(tmp)
@@ -87,26 +97,47 @@ func (st *snapshotStore) save(name string, g *graph.Graph) {
 		st.writeFails.Add(1)
 		os.Remove(tmp)
 		st.logf("snapshot save %s: %v", name, err)
-		return
+		return false
 	}
 	st.writes.Add(1)
+	return true
 }
 
-// load decodes the snapshot for name, recording the wall time.
+// load materializes the snapshot for name, recording the wall time. In
+// mmap mode the graph is opened mapped; a version 1 file — which has no
+// mapped layout — falls back to the heap decoder and bumps v1Fallbacks.
 func (st *snapshotStore) load(name string) (*graph.Graph, error) {
-	f, err := os.Open(st.path(name))
+	start := time.Now()
+	var g *graph.Graph
+	var err error
+	if st.mmap {
+		g, err = graph.OpenSnapshotMapped(st.path(name))
+		if errors.Is(err, graph.ErrSnapshotVersion) {
+			st.v1Fallbacks.Add(1)
+			st.logf("snapshot %s: version 1 file, decoding to heap (re-save to enable mapping)", name)
+			g, err = graph.ReadSnapshotFile(st.path(name))
+		}
+	} else {
+		g, err = graph.ReadSnapshotFile(st.path(name))
+	}
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	start := time.Now()
-	g, err := graph.ReadSnapshot(f)
-	if err != nil {
-		return nil, err
+	if g.Mapped() {
+		st.mmapLoads.Add(1)
+		st.mappedBytes.Add(g.MappedBytes())
 	}
 	st.loads.Add(1)
 	st.loadNanos.Add(int64(time.Since(start)))
 	return g, nil
+}
+
+// unmapped records that a mapped graph produced by load released its last
+// reference (the registry calls it from entry teardown).
+func (st *snapshotStore) unmapped(g *graph.Graph) {
+	if g.Mapped() {
+		st.mappedBytes.Add(-g.MappedBytes())
+	}
 }
 
 // remove deletes name's snapshot file (no-op if absent).
@@ -167,11 +198,14 @@ func (st *snapshotStore) restore(reg *Registry) []string {
 // counters renders the store's state for the /metrics "storage" section.
 func (st *snapshotStore) counters() map[string]any {
 	return map[string]any{
-		"loads":      st.loads.Load(),
-		"writes":     st.writes.Load(),
-		"writeFails": st.writeFails.Load(),
-		"fallbacks":  st.fallbacks.Load(),
-		"tmpCleaned": st.tmpCleaned.Load(),
-		"loadMs":     float64(st.loadNanos.Load()) / 1e6,
+		"loads":       st.loads.Load(),
+		"writes":      st.writes.Load(),
+		"writeFails":  st.writeFails.Load(),
+		"fallbacks":   st.fallbacks.Load(),
+		"tmpCleaned":  st.tmpCleaned.Load(),
+		"loadMs":      float64(st.loadNanos.Load()) / 1e6,
+		"mmapLoads":   st.mmapLoads.Load(),
+		"mappedBytes": st.mappedBytes.Load(),
+		"v1Fallbacks": st.v1Fallbacks.Load(),
 	}
 }
