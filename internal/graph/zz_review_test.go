@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Corrupt SREF refs to out-of-range values and open mapped (CRC skipped).
+func TestReviewCorruptSrefPanic(t *testing.T) {
+	g := &Graph{}
+	g.AddNode("L", map[string]Value{"s": Str("aaa")})
+	g.AddNode("L", map[string]Value{"s": Str("bbb")})
+	g.Freeze()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// locate SREF in the section table
+	count := int(binary.LittleEndian.Uint32(data[12:16]))
+	var off, ln uint64
+	for i := 0; i < count; i++ {
+		ent := data[snapHeaderBase+snapTableEntry*i:]
+		if string(ent[:4]) == "SREF" {
+			off = binary.LittleEndian.Uint64(ent[4:12])
+			ln = binary.LittleEndian.Uint64(ent[12:20])
+		}
+	}
+	if ln == 0 {
+		t.Fatal("no SREF section")
+	}
+	// two nodes, refs at off and off+4: make them huge and distinct
+	binary.LittleEndian.PutUint32(data[off:], 0x7ffffff0)
+	binary.LittleEndian.PutUint32(data[off+4:], 0x7ffffff1)
+	p := filepath.Join(t.TempDir(), "x.fsnap")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mg, err := OpenSnapshotMapped(p)
+	t.Logf("open: g=%v err=%v", mg != nil, err)
+	if mg != nil {
+		mg.Close()
+	}
+}
