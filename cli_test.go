@@ -174,8 +174,78 @@ func TestCLIErrorExitCodes(t *testing.T) {
 	wantExitError(t, "fairsqg bad -eps", fairsqg, "-dataset", "lki", "-nodes", "500", "-eps", "-0.5")
 	wantExitError(t, "fairsqg unknown -order", fairsqg, "-dataset", "lki", "-nodes", "500", "-order", "zzz")
 
+	badBatch := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badBatch, []byte(`[{"op":"zap"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantExitError(t, "fairsqg missing -mutations file", fairsqg, "-dataset", "lki", "-nodes", "500",
+		"-mutations", filepath.Join(t.TempDir(), "nope.json"))
+	wantExitError(t, "fairsqg unknown mutation op", fairsqg, "-dataset", "lki", "-nodes", "500",
+		"-mutations", badBatch)
+
 	experiments := buildCLI(t, "experiments")
 	wantExitError(t, "experiments stray args", experiments, "stray")
+}
+
+// TestFairsqgMutationsFlag applies an offline mutation batch before
+// generation and checks both directions of the -save-snapshot
+// interaction: a tombstone-free mutated graph converts, a batch with
+// node removals is rejected with the checkpoint hint.
+func TestFairsqgMutationsFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	fairsqg := buildCLI(t, "fairsqg")
+
+	removing := filepath.Join(dir, "removing.json")
+	if err := os.WriteFile(removing,
+		[]byte(`[{"op":"removeNode","node":0},{"op":"setAttr","node":5,"attr":"yearsOfExp","value":"33"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(fairsqg, "-dataset", "lki", "-nodes", "500", "-seed", "3",
+		"-mutations", removing, "-canon", "talent", "-max-domain", "3", "-cover", "3",
+		"-alg", "bi", "-eps", "0.2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("fairsqg -mutations: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "mutations: 2 ops applied (version 2)") {
+		t.Errorf("missing mutation summary line:\n%s", out)
+	}
+
+	setOnly := filepath.Join(dir, "set.json")
+	if err := os.WriteFile(setOnly,
+		[]byte(`[{"op":"setAttr","node":5,"attr":"yearsOfExp","value":"33"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "mut.fsnap")
+	if out, err := exec.Command(fairsqg, "-dataset", "lki", "-nodes", "500", "-seed", "3",
+		"-mutations", setOnly, "-save-snapshot", snap).CombinedOutput(); err != nil {
+		t.Fatalf("fairsqg -mutations -save-snapshot: %v\n%s", err, out)
+	}
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadGraphSnapshot(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("reading mutated snapshot: %v", err)
+	}
+	if got := g.Attr(5, "yearsOfExp"); !got.Equal(Num(33)) {
+		t.Errorf("mutated snapshot lost the write: yearsOfExp = %v", got)
+	}
+
+	// Tombstoned graphs cannot snapshot; the CLI surfaces the codec's
+	// checkpoint hint instead of writing a resurrected-node image.
+	out, err = exec.Command(fairsqg, "-dataset", "lki", "-nodes", "500", "-seed", "3",
+		"-mutations", removing, "-save-snapshot", filepath.Join(dir, "nope.fsnap")).CombinedOutput()
+	if err == nil {
+		t.Fatalf("tombstoned -save-snapshot succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), "tombstoned") {
+		t.Errorf("missing tombstone error, got:\n%s", out)
+	}
 }
 
 // TestSnapshotCLIRoundTrip drives the offline-conversion path end to

@@ -60,6 +60,7 @@ func main() {
 	streamLen := flag.Int("stream", 300, "online: instances to stream")
 
 	verbose := flag.Bool("v", false, "print full query descriptions and answers")
+	mutations := flag.String("mutations", "", "apply this JSON mutation batch to the loaded graph before anything else (same wire form as the server's mutate endpoint)")
 	save := flag.String("save", "", "write the generated workload as JSON to this file")
 	saveSnapshot := flag.String("save-snapshot", "", "write the loaded graph as a binary snapshot to this file and exit (offline conversion for warm loads)")
 	flag.Parse()
@@ -94,6 +95,24 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "graph: %s\n", fairsqg.SummarizeGraph(g))
+
+	if *mutations != "" {
+		data, err := os.ReadFile(*mutations)
+		if err != nil {
+			log.Fatalf("-mutations: %v", err)
+		}
+		ops, err := fairsqg.DecodeMutations(data)
+		if err != nil {
+			log.Fatalf("-mutations: %v", err)
+		}
+		mg, res, err := fairsqg.ApplyMutations(g, ops)
+		if err != nil {
+			log.Fatalf("-mutations: %v", err)
+		}
+		g = mg
+		fmt.Fprintf(os.Stderr, "mutations: %d ops applied (version %d): %s\n",
+			res.Ops, res.Version, fairsqg.SummarizeGraph(g))
+	}
 
 	if *saveSnapshot != "" {
 		if err := saveTo(*saveSnapshot, func(w *os.File) error {

@@ -86,6 +86,7 @@ func run(args []string, errw *os.File) int {
 		maxUpload      = fs.Int64("max-upload", 64<<20, "largest accepted graph upload in bytes")
 		snapshotDir    = fs.String("snapshot-dir", "", "persist registered graphs as binary snapshots here and restore them on startup (warm restart; standalone/coordinator)")
 		mmapGraphs     = fs.Bool("mmap-graphs", false, "serve graphs memory-mapped from their snapshots in -snapshot-dir instead of decoding to the heap (out-of-core: restore is O(open), resident memory tracks what queries touch)")
+		compactAfter   = fs.Int("compact-after", 0, "checkpoint a mutated graph in the background after this many mutation ops since its last compaction (0 disables; with -snapshot-dir this also rotates the snapshot epoch and resets the delta log)")
 		drainFor       = fs.Duration("drain", 30*time.Second, "how long shutdown waits for running jobs")
 		graphs         graphFlags
 	)
@@ -171,6 +172,7 @@ func run(args []string, errw *os.File) int {
 		MaxUploadBytes:   *maxUpload,
 		SnapshotDir:      *snapshotDir,
 		MmapGraphs:       *mmapGraphs,
+		CompactAfter:     *compactAfter,
 		RequireGraph:     false,
 		Cluster:          coord,
 		Logger:           logger,

@@ -130,6 +130,19 @@
 // single-process one. See README.md ("Running a cluster") and
 // DESIGN.md §5f.
 //
+// Frozen graphs also mutate without a rebuild: ApplyMutations applies an
+// atomic batch (add/remove nodes and edges, attribute writes) by
+// copy-on-write, producing a new frozen generation that shares every
+// untouched column and index with its base — orders of magnitude cheaper
+// than re-parsing, with node IDs stable across generations. NewLiveGraph
+// wraps the current generation behind retained references so readers
+// keep a consistent graph while writers advance it, and OpenMutationLog
+// / ReplayMutationLog persist batches to a CRC-framed write-ahead delta
+// log beside the snapshot (the fairsqgd mutate endpoint's crash
+// consistency). A Generator.Online run can follow a mutating graph via
+// OnlineOptions.Mutations, re-scoring its archive as generations land.
+// See README.md ("Live graphs") and DESIGN.md §5h.
+//
 // Synthetic datasets mirroring the paper's evaluation graphs and the full
 // experiment harness live in cmd/experiments; see DESIGN.md and
 // EXPERIMENTS.md.

@@ -91,6 +91,28 @@ type (
 	OnlineCheckpoint = core.OnlineCheckpoint
 	// CBMOptions parameterizes the ε-constraint baseline.
 	CBMOptions = core.CBMOptions
+
+	// Mutation is one graph mutation op (add/remove node or edge, set
+	// attribute); a batch applies all-or-nothing via ApplyMutations or
+	// LiveGraph.Apply.
+	Mutation = graph.Mutation
+	// MutOp selects a Mutation's operation.
+	MutOp = graph.MutOp
+	// ApplyResult reports what one applied mutation batch did.
+	ApplyResult = graph.ApplyResult
+	// AttrPair names one attribute value in a Mutation's AddNode op.
+	AttrPair = graph.AttrPair
+	// LiveGraph wraps a frozen graph with serialized mutation and
+	// compaction; readers Acquire generation handles that stay immutable.
+	LiveGraph = graph.Live
+	// WALWriter appends mutation batches to a checksummed delta log.
+	WALWriter = graph.WALWriter
+	// WALReplay is the outcome of reading a delta log back.
+	WALReplay = graph.WALReplay
+	// MutationEvent announces a new graph generation to an online run.
+	MutationEvent = core.MutationEvent
+	// MutationSource feeds OnlineQGen graph mutation events.
+	MutationSource = core.MutationSource
 )
 
 // Comparison operators for literals.
@@ -129,8 +151,56 @@ var (
 	Bool = graph.Bool
 )
 
+// Mutation operations.
+const (
+	MutAddNode    = graph.MutAddNode
+	MutRemoveNode = graph.MutRemoveNode
+	MutAddEdge    = graph.MutAddEdge
+	MutRemoveEdge = graph.MutRemoveEdge
+	MutSetAttr    = graph.MutSetAttr
+)
+
 // NewGraph returns an empty graph; add nodes and edges, then Freeze it.
 func NewGraph() *Graph { return graph.New() }
+
+// NewLiveGraph wraps a frozen graph for mutation: Apply produces new
+// immutable generations copy-on-write, Compact re-freezes the overlay
+// chain into a canonical layout without changing any cache coordinates.
+func NewLiveGraph(g *Graph) *LiveGraph { return graph.NewLive(g) }
+
+// ApplyMutations applies one batch to a frozen graph, returning the new
+// generation (the input is unchanged) and a report. The batch validates
+// against the evolving overlay and applies all-or-nothing.
+func ApplyMutations(g *Graph, ops []Mutation) (*Graph, *ApplyResult, error) {
+	return graph.ApplyBatch(g, ops)
+}
+
+// OpenMutationLog opens (creating if absent) a graph's delta log for
+// appending mutation batches; see WALWriter.
+func OpenMutationLog(path string) (*WALWriter, error) { return graph.OpenWAL(path) }
+
+// ReplayMutationLog reads a delta log back; with repair set, a torn tail
+// (crash mid-append) is truncated so the log is appendable again.
+func ReplayMutationLog(path string, repair bool) (*WALReplay, error) {
+	return graph.ReplayWAL(path, repair)
+}
+
+// EncodeMutations serializes a batch in the JSON wire form accepted by
+// the server's mutate endpoint; DecodeMutations inverts it.
+func EncodeMutations(ops []Mutation) ([]byte, error) { return graph.EncodeMutations(ops) }
+
+// DecodeMutations parses the JSON wire form of a mutation batch.
+func DecodeMutations(data []byte) ([]Mutation, error) { return graph.DecodeMutations(data) }
+
+// GraphsEquivalent reports whether two frozen graphs describe the same
+// logical graph — same live nodes, labels, attributes and edge multisets
+// — regardless of physical layout (mutated overlay vs. fresh rebuild).
+func GraphsEquivalent(a, b *Graph) error { return graph.Equivalent(a, b) }
+
+// CheckGraphInvariants validates a frozen graph's internal consistency
+// (CSR symmetry, index permutations, tombstone accounting); mutation and
+// compaction tests run it after every generation change.
+func CheckGraphInvariants(g *Graph) error { return graph.CheckInvariants(g) }
 
 // ReadGraphJSON loads a graph from its JSON form and freezes it.
 func ReadGraphJSON(r io.Reader) (*Graph, error) { return graph.ReadJSON(r) }

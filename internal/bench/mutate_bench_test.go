@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"fairsqg/internal/gen"
+	"fairsqg/internal/graph"
+)
+
+// BenchmarkMutateBatch compares the two ways an edit reaches a served
+// 100k-node graph: ApplyBatch — a copy-on-write overlay generation with
+// incremental index maintenance — versus the only pre-mutation path,
+// re-uploading the full TSV and re-running Freeze (column transposition
+// plus index rebuilds from scratch). The batch is a realistic mixed edit:
+// attribute updates, new edges, node churn. Acceptance bar for the live
+// graph layer is ApplyBatch ≥ 10× faster; the measured gap is recorded
+// in BENCH.md.
+func BenchmarkMutateBatch(b *testing.B) {
+	g, err := gen.Build("lki", gen.Options{Nodes: 100000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tsv bytes.Buffer
+	if err := graph.WriteTSV(&tsv, g); err != nil {
+		b.Fatal(err)
+	}
+
+	// A mixed 100-op batch over live Person nodes: 40 attribute updates,
+	// 30 new recommend edges, 20 removals, 10 fresh nodes. IDs step by a
+	// prime so ops spread across the columns instead of clustering.
+	persons := g.NodesByLabel("Person")
+	var batch []graph.Mutation
+	for i := 0; i < 40; i++ {
+		batch = append(batch, graph.Mutation{
+			Op: graph.MutSetAttr, Node: persons[(i*101)%len(persons)],
+			Attr: "yearsOfExp", Value: graph.Int(int64(i % 30)),
+		})
+	}
+	for i := 0; i < 30; i++ {
+		from := persons[(i*211)%len(persons)]
+		to := persons[(i*307+13)%len(persons)]
+		if from == to {
+			to = persons[(i*307+14)%len(persons)]
+		}
+		batch = append(batch, graph.Mutation{Op: graph.MutAddEdge, From: from, To: to, Label: "recommend"})
+	}
+	for i := 0; i < 20; i++ {
+		batch = append(batch, graph.Mutation{Op: graph.MutRemoveNode, Node: persons[(i*401+7)%len(persons)]})
+	}
+	for i := 0; i < 10; i++ {
+		batch = append(batch, graph.Mutation{
+			Op: graph.MutAddNode, Label: "Person",
+			Attrs: []graph.AttrPair{
+				{Name: "gender", Value: graph.Str("female")},
+				{Name: "title", Value: graph.Str("Director")},
+				{Name: "yearsOfExp", Value: graph.Int(int64(i))},
+			},
+		})
+	}
+	b.Logf("graph: %d nodes, %d edges; batch %d ops; tsv %d bytes",
+		g.NumNodes(), g.NumEdges(), len(batch), tsv.Len())
+
+	b.Run("mutate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ng, res, err := graph.ApplyBatch(g, batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Ops != len(batch) || ng.Version() != g.Version()+1 {
+				b.Fatalf("batch misapplied: %+v", res)
+			}
+		}
+	})
+	b.Run("reupload+refreeze", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ng, err := graph.ReadTSV(bytes.NewReader(tsv.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ng.NumNodes() != g.NumNodes() {
+				b.Fatalf("parsed %d nodes, want %d", ng.NumNodes(), g.NumNodes())
+			}
+		}
+	})
+}

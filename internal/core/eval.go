@@ -50,6 +50,10 @@ type Runner struct {
 	scoreRel   measure.RelevanceFunc
 	scoreDist  measure.DistanceFunc
 	scoreFP    string
+	// ownedG is the graph generation adopted from a MutationSource during
+	// OnlineQGen, released by Close (generations from Retarget itself stay
+	// caller-owned).
+	ownedG *graph.Graph
 }
 
 // NewRunner validates the configuration and prepares shared state.
@@ -121,7 +125,12 @@ func (r *Runner) initScoring() {
 	} else {
 		feats := measure.NewDistanceFeatures(cfg.G, cfg.DistanceAttrs)
 		r.scoreDist = feats.Func()
-		r.scoreFP = feats.Fingerprint()
+		// Distances are computed from the graph's attribute columns, so
+		// the cache scope carries the graph generation ((lineage, version))
+		// alongside the feature fingerprint: a mutation that changes
+		// attribute values moves jobs to a fresh scope instead of serving
+		// stale pre-mutation distances out of a shared cache.
+		r.scoreFP = cfg.G.GenKey() + "\x02" + feats.Fingerprint()
 	}
 	r.bindScoring()
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"fairsqg/internal/graph"
 	"fairsqg/internal/pareto"
 	"fairsqg/internal/query"
 )
@@ -81,6 +82,14 @@ type OnlineOptions struct {
 	// OnCheckpoint receives periodic snapshots for anytime-quality
 	// experiments (Fig. 11(b)).
 	OnCheckpoint func(cp OnlineCheckpoint)
+	// Mutations, when non-nil, is polled between stream arrivals: on a new
+	// graph generation the runner retargets and re-scores every archived
+	// and window-cached instance against it at the current tolerance
+	// (instances that became infeasible drop out; ε never shrinks). A burst
+	// of batches coalesces into one re-score of the newest generation.
+	// Callers should Close the runner afterwards to release the last
+	// adopted generation.
+	Mutations MutationSource
 }
 
 // OnlineCheckpoint is a periodic snapshot of the online run.
@@ -105,6 +114,12 @@ type OnlineResult struct {
 	Delays []time.Duration
 	// Processed counts stream instances consumed.
 	Processed int
+	// Rescores counts graph-mutation events that triggered an archive
+	// re-score (coalesced: one per burst, not one per batch).
+	Rescores int
+	// RescoreDropped counts archived or window-cached instances that
+	// became infeasible under a mutated generation and fell out.
+	RescoreDropped int
 	// Stats aggregates verification work.
 	Stats Stats
 }
@@ -157,9 +172,72 @@ func (r *Runner) OnlineQGen(stream InstanceStream, opts OnlineOptions) (*OnlineR
 			window = append(window, windowEntry{v: v, ts: now})
 		}
 	}
+	// rescore drains the mutation source and, when the graph advanced,
+	// retargets the runner and re-verifies the whole working state — the
+	// archive's payloads and the window cache — against the newest
+	// generation. The archive is rebuilt at its current ε (Lemma 4's
+	// monotonicity is per-tolerance; re-scored points land wherever the
+	// new graph puts them, but the tolerance itself never shrinks).
+	var refill func()
+	rescore := func() {
+		if opts.Mutations == nil {
+			return
+		}
+		var next *graph.Graph
+		for ev := opts.Mutations.Poll(); ev != nil; ev = opts.Mutations.Poll() {
+			if ev.Graph == nil {
+				continue
+			}
+			if next != nil {
+				next.Close()
+			}
+			next = ev.Graph
+		}
+		if next == nil {
+			return
+		}
+		if next == r.cfg.G {
+			next.Close()
+			return
+		}
+		r.Retarget(next)
+		if r.ownedG != nil {
+			r.ownedG.Close()
+		}
+		r.ownedG = next
+		divMax, covMax = r.DivMax(), r.CovMax()
+		res.Rescores++
+		old := archive.Payloads()
+		oldWindow := window
+		archive = pareto.NewArchive[*Verified](archive.Eps())
+		window = nil
+		for _, v := range old {
+			nv := r.verify(v.Q, nil)
+			if !nv.Feasible {
+				res.RescoreDropped++
+				continue
+			}
+			out := archive.Update(nv.Point, nv)
+			if !out.Accepted {
+				cache(nv)
+			}
+			for _, ev := range out.Evicted {
+				cache(ev)
+			}
+		}
+		for _, e := range oldWindow {
+			nv := r.verify(e.v.Q, nil)
+			if !nv.Feasible {
+				res.RescoreDropped++
+				continue
+			}
+			window = append(window, windowEntry{v: nv, ts: e.ts})
+		}
+		refill()
+	}
 	// refill re-offers cached instances while they can join without
 	// growing the set past K.
-	refill := func() {
+	refill = func() {
 		kept := window[:0]
 		for _, e := range window {
 			c := archive.Classify(e.v.Point)
@@ -180,6 +258,7 @@ func (r *Runner) OnlineQGen(stream InstanceStream, opts OnlineOptions) (*OnlineR
 	for q := stream.Next(); q != nil; q = stream.Next() {
 		start := time.Now()
 		now++
+		rescore()
 		v := r.verify(q, nil)
 		expire()
 		if !v.Feasible {
@@ -238,6 +317,7 @@ func (r *Runner) OnlineQGen(stream InstanceStream, opts OnlineOptions) (*OnlineR
 			opts.OnCheckpoint(OnlineCheckpoint{Processed: res.Processed, Points: archive.Points(), Eps: archive.Eps()})
 		}
 	}
+	rescore() // mutations that landed after the last arrival still count
 	if opts.OnCheckpoint != nil && (opts.CheckpointEvery <= 0 || res.Processed%opts.CheckpointEvery != 0) {
 		opts.OnCheckpoint(OnlineCheckpoint{Processed: res.Processed, Points: archive.Points(), Eps: archive.Eps()})
 	}

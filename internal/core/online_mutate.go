@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fairsqg/internal/graph"
+	"fairsqg/internal/groups"
+	"fairsqg/internal/match"
+)
+
+// MutationEvent announces that the runner's graph advanced to a new
+// generation. The event owns a reference to the generation (retained by
+// the source); OnlineQGen adopts it and releases superseded ones.
+type MutationEvent struct {
+	// Graph is the generation that resulted from the mutation batch.
+	Graph *graph.Graph
+}
+
+// MutationSource yields pending mutation events without blocking: Poll
+// returns nil when nothing happened since the last call. OnlineQGen polls
+// it between stream arrivals and re-scores its archived instances against
+// the newest generation (coalescing a burst of batches into one re-score).
+type MutationSource interface {
+	Poll() *MutationEvent
+}
+
+// ChanMutations adapts a channel of events into a MutationSource, e.g.
+// one fed from the server's Options.OnMutate hook.
+type ChanMutations struct {
+	C <-chan MutationEvent
+}
+
+// Poll implements MutationSource.
+func (s *ChanMutations) Poll() *MutationEvent {
+	select {
+	case ev, ok := <-s.C:
+		if !ok {
+			return nil
+		}
+		return &ev
+	default:
+		return nil
+	}
+}
+
+// LiveMutations adapts a graph.Live into a MutationSource by version
+// polling: Poll reports an event whenever the live graph's current
+// generation is newer than the one last reported. The returned event
+// carries a retained reference (ownership passes to the consumer).
+type LiveMutations struct {
+	L    *graph.Live
+	last uint64
+}
+
+// Poll implements MutationSource.
+func (s *LiveMutations) Poll() *MutationEvent {
+	if s.L.Version() == s.last {
+		return nil
+	}
+	g := s.L.Acquire()
+	if g.Version() == s.last { // raced with a concurrent Poll
+		g.Close()
+		return nil
+	}
+	s.last = g.Version()
+	return &MutationEvent{Graph: g}
+}
+
+// Retarget rebinds the runner to a new generation of its graph: matcher,
+// engine, group counter, population and scoring functions are rebuilt
+// over g, and the verification memo is dropped (its entries scored the
+// old generation). The candidate and distance caches carry over — their
+// keys are scoped by the generation key, so pre-mutation entries can
+// never answer post-mutation queries, while entries the new generation
+// re-derives stay warm. An external Config.Engine bound to another
+// generation is abandoned (the runner builds its own); generation
+// lifetimes stay with the caller — Retarget never closes g.
+func (r *Runner) Retarget(g *graph.Graph) {
+	if g == r.cfg.G {
+		return
+	}
+	cfg := *r.cfg
+	cfg.G = g
+	if cfg.Engine != nil && cfg.Engine.Graph() != g {
+		cfg.Engine = nil
+	}
+	r.cfg = &cfg
+
+	m := match.New(g)
+	m.Mode = cfg.Mode
+	m.Order = cfg.Order
+	m.MaxBacktrackNodes = cfg.MaxBacktrackNodes
+	m.DisableAttrIndex = cfg.DisableAttrIndex
+	m.Stats = r.matcher.Stats // counters span generations within one run
+	if cfg.Ctx != nil {
+		m.BindContext(r.ctx)
+	}
+	oldEngine, oldCache := r.engine, r.matcher.Cache
+	r.matcher = m
+	if oldEngine != nil {
+		r.engine = match.NewEngine(g, match.EngineOptions{
+			Mode:              cfg.Mode,
+			Order:             cfg.Order,
+			MaxBacktrackNodes: cfg.MaxBacktrackNodes,
+			Workers:           cfg.MatchWorkers,
+			CandCacheSize:     cfg.CandCacheSize,
+			DisableAttrIndex:  cfg.DisableAttrIndex,
+			SharedCache:       oldEngine.Cache(),
+			SharedDistCache:   oldEngine.DistCache(),
+		})
+		m.Cache = r.engine.Cache()
+	} else {
+		m.Cache = oldCache
+	}
+	r.counter = groups.NewCounter(g.NumNodes(), cfg.Groups)
+
+	outLabel := cfg.Template.Nodes[cfg.Template.Output].Label
+	population := g.CountLabel(outLabel)
+	seen := map[string]bool{outLabel: true}
+	for _, ni := range r.extraNodes {
+		if l := cfg.Template.Nodes[ni].Label; !seen[l] {
+			seen[l] = true
+			population += g.CountLabel(l)
+		}
+	}
+	r.population = population
+	r.cache = make(map[string]*Verified)
+	r.initScoring()
+}
+
+// Close releases the graph generation the runner adopted from a mutation
+// source, if any. Runners that never consumed a MutationSource need no
+// Close; calling it twice is safe.
+func (r *Runner) Close() error {
+	if r.ownedG == nil {
+		return nil
+	}
+	err := r.ownedG.Close()
+	r.ownedG = nil
+	return err
+}

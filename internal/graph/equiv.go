@@ -1,0 +1,434 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// The differential oracle for the mutation layer: Equivalent proves a
+// mutated graph logically equal to a rebuild-from-scratch of the same
+// content, and CheckInvariants proves its internal frozen representation
+// self-consistent (every derived structure equal to what a fresh Freeze
+// would derive). Together they are the "mutated ≡ rebuilt" guarantee the
+// mutation differential and fuzz suites assert after every batch.
+
+// Equivalent reports (as an error describing the first discrepancy, nil
+// when none) whether two frozen graphs carry the same logical content:
+// same live nodes with the same labels, attribute tuples, edges, label
+// buckets, active domains, sorted permutation indexes and degree stats —
+// compared modulo the intern dictionaries and modulo tombstoned slots.
+// The i-th live node of a corresponds to the i-th live node of b; both
+// buckets and permutation tie-orders are NodeID-ascending, so the
+// monotone mapping preserves every order the matcher depends on.
+func Equivalent(a, b *Graph) error {
+	if !a.Frozen() || !b.Frozen() {
+		return fmt.Errorf("equivalent: both graphs must be frozen")
+	}
+	if a.NumLive() != b.NumLive() {
+		return fmt.Errorf("equivalent: %d live nodes vs %d", a.NumLive(), b.NumLive())
+	}
+	if a.NumEdges() != b.NumEdges() {
+		return fmt.Errorf("equivalent: %d edges vs %d", a.NumEdges(), b.NumEdges())
+	}
+	aLive, bLive := liveNodes(a), liveNodes(b)
+	toB := make(map[NodeID]NodeID, len(aLive))
+	for i, va := range aLive {
+		toB[va] = bLive[i]
+	}
+	for i, va := range aLive {
+		vb := bLive[i]
+		if a.Label(va) != b.Label(vb) {
+			return fmt.Errorf("equivalent: node %d/%d: label %q vs %q", va, vb, a.Label(va), b.Label(vb))
+		}
+		if err := equalAttrPairs(a.AttrPairs(va), b.AttrPairs(vb)); err != nil {
+			return fmt.Errorf("equivalent: node %d/%d: %v", va, vb, err)
+		}
+		for _, outgoing := range []bool{true, false} {
+			ea := mappedEdges(a, va, outgoing, toB)
+			eb := mappedEdges(b, vb, outgoing, nil)
+			dir := "out"
+			if !outgoing {
+				dir = "in"
+			}
+			if len(ea) != len(eb) {
+				return fmt.Errorf("equivalent: node %d/%d: %d %s-edges vs %d", va, vb, len(ea), dir, len(eb))
+			}
+			for k := range ea {
+				if ea[k] != eb[k] {
+					return fmt.Errorf("equivalent: node %d/%d: %s-edge %d: %v vs %v", va, vb, dir, k, ea[k], eb[k])
+				}
+			}
+		}
+	}
+	// Buckets, per label string, must map element for element: both sides
+	// keep them NodeID-ascending.
+	for _, name := range unionStrings(a.NodeLabels(), b.NodeLabels()) {
+		ba := a.NodesByLabel(name)
+		bb := b.NodesByLabel(name)
+		if len(ba) != len(bb) {
+			return fmt.Errorf("equivalent: label %q: bucket size %d vs %d", name, len(ba), len(bb))
+		}
+		for i := range ba {
+			if toB[ba[i]] != bb[i] {
+				return fmt.Errorf("equivalent: label %q: bucket[%d] = %d maps to %d, want %d", name, i, ba[i], toB[ba[i]], bb[i])
+			}
+		}
+	}
+	// Active domains per attribute name (union: an attribute absent from
+	// one dictionary must have an empty domain in the other).
+	for _, name := range unionStrings(a.attrNames, b.attrNames) {
+		da := a.ActiveDomain(name)
+		db := b.ActiveDomain(name)
+		if len(da) != len(db) {
+			return fmt.Errorf("equivalent: attr %q: domain size %d vs %d", name, len(da), len(db))
+		}
+		for i := range da {
+			if !da[i].Equal(db[i]) || da[i].Kind() != db[i].Kind() {
+				return fmt.Errorf("equivalent: attr %q: domain[%d] %v vs %v", name, i, da[i], db[i])
+			}
+		}
+	}
+	// Permutation indexes: same (label, attr) pairs, same order after
+	// mapping.
+	if a.mem.Indexes != b.mem.Indexes {
+		return fmt.Errorf("equivalent: %d permutation indexes vs %d", a.mem.Indexes, b.mem.Indexes)
+	}
+	for k, pa := range a.indexes {
+		labelName, attrName := a.labels[k.label], a.attrTable[k.attr]
+		lb, ab := b.LookupLabel(labelName), b.AttrIDOf(attrName)
+		pb, ok := b.indexes[labelAttr{lb, ab}]
+		if !ok {
+			return fmt.Errorf("equivalent: index (%q, %q) missing from second graph", labelName, attrName)
+		}
+		if len(pa) != len(pb) {
+			return fmt.Errorf("equivalent: index (%q, %q): %d entries vs %d", labelName, attrName, len(pa), len(pb))
+		}
+		for i := range pa {
+			if toB[pa[i]] != pb[i] {
+				return fmt.Errorf("equivalent: index (%q, %q)[%d]: %d maps to %d, want %d",
+					labelName, attrName, i, pa[i], toB[pa[i]], pb[i])
+			}
+		}
+	}
+	if a.maxOutDeg != b.maxOutDeg || a.maxInDeg != b.maxInDeg {
+		return fmt.Errorf("equivalent: max degrees (%d,%d) vs (%d,%d)", a.maxOutDeg, a.maxInDeg, b.maxOutDeg, b.maxInDeg)
+	}
+	return nil
+}
+
+// mappedEdge is one adjacency entry in dictionary-free form.
+type mappedEdge struct {
+	Label string
+	To    NodeID
+}
+
+func mappedEdges(g *Graph, v NodeID, outgoing bool, m map[NodeID]NodeID) []mappedEdge {
+	rows := g.out
+	if !outgoing {
+		rows = g.in
+	}
+	out := make([]mappedEdge, 0, len(rows[v]))
+	for _, e := range rows[v] {
+		to := e.To
+		if m != nil {
+			to = m[e.To]
+		}
+		out = append(out, mappedEdge{Label: g.labels[e.Label], To: to})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+func equalAttrPairs(pa, pb []AttrPair) error {
+	if len(pa) != len(pb) {
+		return fmt.Errorf("%d attributes vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i].Name != pb[i].Name {
+			return fmt.Errorf("attr[%d] name %q vs %q", i, pa[i].Name, pb[i].Name)
+		}
+		if pa[i].Value.Kind() != pb[i].Value.Kind() || !pa[i].Value.Equal(pb[i].Value) {
+			return fmt.Errorf("attr %q: %v (%v) vs %v (%v)", pa[i].Name,
+				pa[i].Value, pa[i].Value.Kind(), pb[i].Value, pb[i].Value.Kind())
+		}
+	}
+	return nil
+}
+
+func liveNodes(g *Graph) []NodeID {
+	out := make([]NodeID, 0, g.NumLive())
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Alive(NodeID(v)) {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+func unionStrings(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, s := range a {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckInvariants verifies a frozen graph's internal representation
+// against what a fresh Freeze would derive: bucket/index membership and
+// order, presence bitmaps vs counts, kind uniformity, derived
+// label-position/signature/run tables, degree maxima, domain recomputes
+// and tombstone exclusion. It is O(|V|·|A| + |E| log |E|) and meant for
+// tests and fuzzing, not production paths.
+func CheckInvariants(g *Graph) error {
+	if !g.Frozen() {
+		return fmt.Errorf("invariants: graph not frozen")
+	}
+	n := g.NumNodes()
+	if len(g.out) != n || len(g.in) != n {
+		return fmt.Errorf("invariants: adjacency length %d/%d, want %d", len(g.out), len(g.in), n)
+	}
+	if len(g.labelPos) != n || len(g.sigOut) != n || len(g.sigIn) != n {
+		return fmt.Errorf("invariants: derived table lengths %d/%d/%d, want %d", len(g.labelPos), len(g.sigOut), len(g.sigIn), n)
+	}
+	// Tombstones.
+	deadPop := 0
+	for _, w := range g.dead {
+		deadPop += bits.OnesCount64(w)
+	}
+	if deadPop != g.deadCount {
+		return fmt.Errorf("invariants: deadCount %d but bitmap holds %d", g.deadCount, deadPop)
+	}
+	for v := 0; v < n; v++ {
+		if g.Alive(NodeID(v)) {
+			continue
+		}
+		if len(g.out[v]) != 0 || len(g.in[v]) != 0 {
+			return fmt.Errorf("invariants: dead node %d still has edges", v)
+		}
+		if g.labelPos[v] != PackLabelPos(InvalidLabel, -1) {
+			return fmt.Errorf("invariants: dead node %d labelPos not poisoned", v)
+		}
+		for a := range g.cols {
+			if g.cols[a].has(NodeID(v)) {
+				return fmt.Errorf("invariants: dead node %d present in column %q", v, g.attrTable[a])
+			}
+		}
+	}
+	// Buckets: ascending, label-consistent, exactly the live nodes.
+	seen := make(map[NodeID]bool, n)
+	for l, bucket := range g.byLabel {
+		if len(bucket) == 0 {
+			return fmt.Errorf("invariants: empty bucket for label %q", g.labels[l])
+		}
+		for i, v := range bucket {
+			if i > 0 && bucket[i-1] >= v {
+				return fmt.Errorf("invariants: bucket %q not ascending at %d", g.labels[l], i)
+			}
+			if !g.Alive(v) {
+				return fmt.Errorf("invariants: dead node %d in bucket %q", v, g.labels[l])
+			}
+			if g.nodeLabels[v] != l {
+				return fmt.Errorf("invariants: node %d in bucket %q but labeled %q", v, g.labels[l], g.Label(v))
+			}
+			if g.labelPos[v] != PackLabelPos(l, int32(i)) {
+				return fmt.Errorf("invariants: node %d labelPos mismatch", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != g.NumLive() {
+		return fmt.Errorf("invariants: buckets cover %d nodes, want %d live", len(seen), g.NumLive())
+	}
+	// Adjacency: sorted rows, mirrored multisets, edge count, signatures.
+	edges := 0
+	type fullEdge struct {
+		from, to NodeID
+		label    LabelID
+	}
+	outSet := make(map[fullEdge]int)
+	for v := 0; v < n; v++ {
+		var sig uint64
+		for i, e := range g.out[v] {
+			if i > 0 && (g.out[v][i-1].Label > e.Label || (g.out[v][i-1].Label == e.Label && g.out[v][i-1].To > e.To)) {
+				return fmt.Errorf("invariants: out row %d not sorted", v)
+			}
+			if !g.Alive(e.To) {
+				return fmt.Errorf("invariants: out edge %d->%d targets a dead node", v, e.To)
+			}
+			outSet[fullEdge{NodeID(v), e.To, e.Label}]++
+			sig |= LabelSigBit(e.Label)
+			edges++
+		}
+		if g.sigOut[v] != sig {
+			return fmt.Errorf("invariants: node %d out signature stale", v)
+		}
+		sig = 0
+		for i, e := range g.in[v] {
+			if i > 0 && (g.in[v][i-1].Label > e.Label || (g.in[v][i-1].Label == e.Label && g.in[v][i-1].To > e.To)) {
+				return fmt.Errorf("invariants: in row %d not sorted", v)
+			}
+			outSet[fullEdge{e.To, NodeID(v), e.Label}]--
+			sig |= LabelSigBit(e.Label)
+		}
+		if g.sigIn[v] != sig {
+			return fmt.Errorf("invariants: node %d in signature stale", v)
+		}
+	}
+	for k, c := range outSet {
+		if c != 0 {
+			return fmt.Errorf("invariants: edge %d->%d (%q) out/in mirror off by %d", k.from, k.to, g.labels[k.label], c)
+		}
+	}
+	if edges != g.numEdges {
+		return fmt.Errorf("invariants: numEdges %d but rows hold %d", g.numEdges, edges)
+	}
+	maxOut, maxIn := 0, 0
+	for v := 0; v < n; v++ {
+		if len(g.out[v]) > maxOut {
+			maxOut = len(g.out[v])
+		}
+		if len(g.in[v]) > maxIn {
+			maxIn = len(g.in[v])
+		}
+	}
+	if maxOut != g.maxOutDeg || maxIn != g.maxInDeg {
+		return fmt.Errorf("invariants: max degrees (%d,%d) recorded (%d,%d)", maxOut, maxIn, g.maxOutDeg, g.maxInDeg)
+	}
+	// Run tables.
+	for _, outgoing := range []bool{true, false} {
+		starts, stride := g.RunStarts(outgoing)
+		if starts == nil {
+			continue
+		}
+		rows := g.out
+		if !outgoing {
+			rows = g.in
+		}
+		for v := 0; v < n; v++ {
+			for l := 0; l < stride-1; l++ {
+				run := rows[v][starts[v*stride+l]:starts[v*stride+l+1]]
+				want := edgeRunSearch(rows[v], LabelID(l))
+				if len(run) != len(want) || (len(run) > 0 && &run[0] != &want[0]) {
+					return fmt.Errorf("invariants: run table (%d, label %d, out=%v) stale", v, l, outgoing)
+				}
+			}
+		}
+	}
+	// Columns: presence counts, word width, kind uniformity.
+	if len(g.cols) != len(g.attrTable) {
+		return fmt.Errorf("invariants: %d columns for %d attributes", len(g.cols), len(g.attrTable))
+	}
+	words := (n + 63) / 64
+	for a := range g.cols {
+		c := &g.cols[a]
+		if len(c.present) < words {
+			return fmt.Errorf("invariants: column %q presence bitmap too short", g.attrTable[a])
+		}
+		pop := 0
+		for _, w := range c.present {
+			pop += bits.OnesCount64(w)
+		}
+		if pop != c.count {
+			return fmt.Errorf("invariants: column %q count %d but bitmap holds %d", g.attrTable[a], c.count, pop)
+		}
+		typed := 0
+		for _, set := range []bool{c.nums != nil, c.strs != nil, c.bools != nil, c.vals != nil, c.refs != nil} {
+			if set {
+				typed++
+			}
+		}
+		if typed > 1 {
+			return fmt.Errorf("invariants: column %q has %d value arrays", g.attrTable[a], typed)
+		}
+		for v := 0; v < n; v++ {
+			if !c.has(NodeID(v)) {
+				continue
+			}
+			k := c.value(NodeID(v)).Kind()
+			if c.kind != KindNull && k != c.kind {
+				return fmt.Errorf("invariants: column %q kind %v holds a %v at node %d", g.attrTable[a], c.kind, k, v)
+			}
+		}
+	}
+	// Domains match a recompute.
+	doms := g.domainList()
+	if len(doms) != len(g.cols) {
+		return fmt.Errorf("invariants: %d domains for %d columns", len(doms), len(g.cols))
+	}
+	for a := range g.cols {
+		want := computeDomain(&g.cols[a], n)
+		if len(want) != len(doms[a]) {
+			return fmt.Errorf("invariants: attr %q domain size %d, recompute %d", g.attrTable[a], len(doms[a]), len(want))
+		}
+		for i := range want {
+			if !want[i].Equal(doms[a][i]) {
+				return fmt.Errorf("invariants: attr %q domain[%d] %v, recompute %v", g.attrTable[a], i, doms[a][i], want[i])
+			}
+		}
+	}
+	// Indexes: exactly the occupied (label, attr) pairs, each a sorted
+	// permutation of its bucket.
+	wantPairs := 0
+	for l, bucket := range g.byLabel {
+		for a := range g.cols {
+			occ := false
+			for _, v := range bucket {
+				if g.cols[a].has(v) {
+					occ = true
+					break
+				}
+			}
+			if !occ {
+				if _, ok := g.indexes[labelAttr{l, AttrID(a)}]; ok {
+					return fmt.Errorf("invariants: index (%q, %q) exists but attribute absent from label", g.labels[l], g.attrTable[a])
+				}
+				continue
+			}
+			wantPairs++
+			perm, ok := g.indexes[labelAttr{l, AttrID(a)}]
+			if !ok {
+				return fmt.Errorf("invariants: missing index (%q, %q)", g.labels[l], g.attrTable[a])
+			}
+			if len(perm) != len(bucket) {
+				return fmt.Errorf("invariants: index (%q, %q) has %d entries for a %d-node bucket", g.labels[l], g.attrTable[a], len(perm), len(bucket))
+			}
+			c := &g.cols[a]
+			inBucket := make(map[NodeID]bool, len(bucket))
+			for _, v := range bucket {
+				inBucket[v] = true
+			}
+			for i, v := range perm {
+				if !inBucket[v] {
+					return fmt.Errorf("invariants: index (%q, %q) holds non-bucket node %d", g.labels[l], g.attrTable[a], v)
+				}
+				if i > 0 {
+					prev := perm[i-1]
+					if cmp := c.value(prev).Compare(c.value(v)); cmp > 0 || (cmp == 0 && prev >= v) {
+						return fmt.Errorf("invariants: index (%q, %q) out of order at %d", g.labels[l], g.attrTable[a], i)
+					}
+				}
+			}
+		}
+	}
+	if wantPairs != len(g.indexes) || g.mem.Indexes != len(g.indexes) {
+		return fmt.Errorf("invariants: %d indexes, want %d (mem records %d)", len(g.indexes), wantPairs, g.mem.Indexes)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzMutateEquivalence drives a byte-decoded mutation stream through
+// three parallel systems — the incremental merge (Live/ApplyBatch), the
+// map-based oracle rebuilt via builder+Freeze, and a shadow Live fed only
+// through the WAL codec — and asserts they never disagree: same
+// accept/reject verdict per batch, equivalent observable state, intact
+// internal invariants, faithful wire round-trips, and version-preserving
+// compaction.
+func FuzzMutateEquivalence(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02, 0x20, 0x13, 0x24, 0x85, 0x06, 0x37})
+	f.Add([]byte{0x10, 0x11, 0x12, 0x93, 0x14, 0x15, 0x96, 0x17, 0x07, 0x07})
+	f.Add([]byte{0x02, 0x42, 0x82, 0xc2, 0x03, 0x43, 0x83, 0xc3})
+	f.Add([]byte{0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base := fuzzSeedGraph()
+		l := NewLive(base)
+		defer l.Close()
+		shadow := NewLive(fuzzSeedGraph())
+		defer shadow.Close()
+		m := modelFrom(base)
+
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		pickNode := func() NodeID {
+			// Mostly in-range (dead or alive), sometimes out of range.
+			return NodeID(int(next())%(len(m.nodes)+2)) - 1
+		}
+		// Kept name-sorted: the wire codec canonicalizes attrs by name, and
+		// the round-trip equality check below compares batches verbatim.
+		attrNames := []string{"gender", "k0", "k1", "name", "score"}
+		labels := []string{"Person", "Org", "Tag"}
+		elabels := []string{"recommend", "worksAt", "x"}
+		pickVal := func() Value {
+			switch b := next(); b % 7 {
+			case 0:
+				return Null
+			case 1:
+				return Str("12") // lossy if re-parsed: must stay a string
+			case 2:
+				return Str("true")
+			case 3:
+				return Bool(b&0x80 != 0)
+			case 4:
+				return Num(float64(b) / 8)
+			case 5:
+				return Str("")
+			default:
+				return Int(int64(b % 16))
+			}
+		}
+
+		flush := func(batch []Mutation) {
+			if len(batch) == 0 {
+				return
+			}
+			// Wire faithfulness: the encoded batch decodes back to an
+			// equal batch (attrs are generated unique + name-sorted).
+			wire, err := EncodeMutations(batch)
+			if err != nil {
+				t.Fatalf("encode: %v (%+v)", err, batch)
+			}
+			decoded, derr := DecodeMutations(wire)
+			if derr != nil {
+				// The only undecodable generated content is an out-of-range
+				// NodeID — which the in-process path must reject as well.
+				if err := m.applyBatch(batch); err == nil {
+					t.Fatalf("oracle accepted a batch the wire codec rejects (%v): %+v", derr, batch)
+				}
+				if _, err := l.Apply(batch); err == nil {
+					t.Fatalf("ApplyBatch accepted a batch the wire codec rejects (%v): %+v", derr, batch)
+				}
+				return
+			}
+			if !mutationsEqual(batch, decoded) {
+				t.Fatalf("wire round trip changed the batch:\n in: %+v\nout: %+v", batch, decoded)
+			}
+			modelErr := m.applyBatch(batch)
+			_, applyErr := l.Apply(batch)
+			_, shadowErr := shadow.Apply(decoded)
+			if (modelErr == nil) != (applyErr == nil) || (applyErr == nil) != (shadowErr == nil) {
+				t.Fatalf("verdicts disagree: oracle=%v apply=%v shadow=%v\nbatch: %+v", modelErr, applyErr, shadowErr, batch)
+			}
+		}
+
+		var batch []Mutation
+		for steps := 0; pos < len(data) && steps < 128; steps++ {
+			b := next()
+			switch b % 9 {
+			case 0:
+				if len(m.nodes) < 200 {
+					var attrs []AttrPair
+					sel := next()
+					for i, name := range attrNames {
+						if sel&(1<<i) != 0 {
+							attrs = append(attrs, AttrPair{Name: name, Value: pickVal()})
+						}
+					}
+					batch = append(batch, Mutation{Op: MutAddNode, Label: labels[int(next())%len(labels)], Attrs: attrs})
+				}
+			case 1:
+				batch = append(batch, Mutation{Op: MutRemoveNode, Node: pickNode()})
+			case 2, 3:
+				batch = append(batch, Mutation{Op: MutAddEdge, From: pickNode(), To: pickNode(), Label: elabels[int(next())%len(elabels)]})
+			case 4:
+				batch = append(batch, Mutation{Op: MutRemoveEdge, From: pickNode(), To: pickNode(), Label: elabels[int(next())%len(elabels)]})
+			case 5, 6:
+				batch = append(batch, Mutation{Op: MutSetAttr, Node: pickNode(), Attr: attrNames[int(next())%len(attrNames)], Value: pickVal()})
+			case 7:
+				flush(batch)
+				batch = nil
+			default:
+				flush(batch)
+				batch = nil
+				v := l.Version()
+				compacted, resurrected := l.Compact()
+				if compacted.Version() != v {
+					t.Fatalf("compaction changed version %d -> %d", v, compacted.Version())
+				}
+				if resurrected.HasTombstones() {
+					t.Fatal("resurrected image has tombstones")
+				}
+			}
+			if len(batch) >= 12 {
+				flush(batch)
+				batch = nil
+			}
+		}
+		flush(batch)
+		if l.Version() != shadow.Version() {
+			t.Fatalf("live %d vs shadow %d versions", l.Version(), shadow.Version())
+		}
+		if err := Equivalent(l.Graph(), shadow.Graph()); err != nil {
+			t.Fatalf("live vs WAL-codec shadow: %v", err)
+		}
+		checkAgainstModel(t, l.Graph(), m)
+	})
+}

@@ -11,7 +11,9 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node; IDs are dense and assigned in insertion order.
@@ -66,6 +68,27 @@ type Graph struct {
 	mem        MemoryStats
 	maxOutDeg  int
 	maxInDeg   int
+
+	// version is the graph's logical mutation version: Freeze and the
+	// snapshot decoders produce version 1, and every applyDelta merge (see
+	// mutate.go) bumps it by one. Caches keyed by (version, query) never
+	// serve a pre-mutation entry for a post-mutation graph.
+	version uint64
+	// lineage is a process-unique identity for the graph's mutation
+	// lineage: Freeze and the snapshot decoders draw a fresh value, every
+	// mutation merge inherits it, and compaction preserves it (together
+	// with the version — see Live.Compact). (lineage, version) therefore
+	// uniquely identifies one logical graph state within the process, the
+	// key prefix shared caches use to stay correct across graphs and
+	// mutations.
+	lineage uint64
+	// dead marks tombstoned node slots (see mutate.go): a set bit means the
+	// NodeID was removed by a mutation. Dead slots keep their label (the
+	// checkpoint resurrect path needs it) but carry no attributes or edges
+	// and appear in no bucket or index, so the matcher never sees them.
+	// NodeIDs are never reused. nil on graphs that were never mutated.
+	dead      []uint64
+	deadCount int
 
 	// backing, when non-nil, owns the byte buffer (heap or mmap) the
 	// frozen slices above alias; see storage.go. domFill/strTab implement
@@ -229,8 +252,69 @@ func (g *Graph) Freeze() {
 		}
 	}
 	g.buildDerived()
+	g.version = 1
+	g.lineage = nextLineage()
 	g.frozen = true
 }
+
+// lineageCounter issues process-unique lineage identities; see the
+// lineage field.
+var lineageCounter atomic.Uint64
+
+func nextLineage() uint64 { return lineageCounter.Add(1) }
+
+// Version returns the graph's logical mutation version (1 for a freshly
+// frozen or snapshot-loaded graph; +1 per applied mutation batch). Caches
+// that outlive one graph generation must key their entries by it.
+func (g *Graph) Version() uint64 {
+	g.mustFrozen("Version")
+	return g.version
+}
+
+// Lineage returns the graph's process-unique lineage identity: fresh per
+// Freeze or snapshot load, inherited by mutation merges, preserved by
+// compaction. The (Lineage, Version) pair uniquely identifies one logical
+// graph state within the process — shared caches key entries by it.
+func (g *Graph) Lineage() uint64 {
+	g.mustFrozen("Lineage")
+	return g.lineage
+}
+
+// GenKey renders the (lineage, version) pair as a compact string prefix
+// for cache keys; see Lineage.
+func (g *Graph) GenKey() string {
+	g.mustFrozen("GenKey")
+	return strconv.FormatUint(g.lineage, 36) + ":" + strconv.FormatUint(g.version, 36)
+}
+
+// Alive reports whether v is a live node: in range and not tombstoned by a
+// RemoveNode mutation. On never-mutated graphs every in-range node is live.
+func (g *Graph) Alive(v NodeID) bool {
+	if !g.valid(v) {
+		return false
+	}
+	return g.dead == nil || !bitGet(g.dead, int(v))
+}
+
+// NumLive returns the number of live nodes: NumNodes minus tombstones.
+func (g *Graph) NumLive() int { return len(g.nodeLabels) - g.deadCount }
+
+// HasTombstones reports whether any node slot was removed by a mutation.
+// Tombstoned graphs cannot be snapshotted directly (the snapshot codecs
+// represent every slot as live); see Live.Checkpoint for the resurrect
+// protocol that persists them.
+func (g *Graph) HasTombstones() bool { return g.deadCount > 0 }
+
+// DictLabels returns the label dictionary in intern order (index i holds
+// the string of LabelID i). The slice is shared; callers must not mutate
+// it. The differential suites use it to align dictionaries between a
+// mutated graph and its rebuild-from-scratch oracle, so Bloom-signature
+// bit assignments (LabelSigBit is LabelID-modulo-64) coincide.
+func (g *Graph) DictLabels() []string { return g.labels }
+
+// DictAttrs returns the attribute-name dictionary in intern order (index
+// i holds the name of AttrID i). Shared; callers must not mutate it.
+func (g *Graph) DictAttrs() []string { return g.attrTable }
 
 // buildDerived computes the label-position and neighborhood-signature
 // tables from the frozen layout. Freeze calls it after sorting adjacency;
@@ -241,6 +325,15 @@ func (g *Graph) buildDerived() {
 	for label, nodes := range g.byLabel {
 		for i, v := range nodes {
 			g.labelPos[v] = PackLabelPos(label, int32(i))
+		}
+	}
+	if g.deadCount > 0 {
+		// Tombstoned slots belong to no bucket; poison their packed entry so
+		// a stray probe can never alias (label 0, rank 0).
+		for v := range g.nodeLabels {
+			if bitGet(g.dead, v) {
+				g.labelPos[v] = PackLabelPos(InvalidLabel, -1)
+			}
 		}
 	}
 	g.sigOut = make([]uint64, len(g.nodeLabels))

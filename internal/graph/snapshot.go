@@ -95,6 +95,13 @@ func WriteSnapshotV1(w io.Writer, g *Graph) error {
 	if !g.frozen {
 		return fmt.Errorf("graph: WriteSnapshot requires a frozen graph; call Freeze first")
 	}
+	if g.HasTombstones() {
+		// The codecs represent every node slot as live; persisting a
+		// tombstoned graph goes through Live.Checkpoint's resurrect
+		// protocol (snapshot of the resurrected graph + a WAL tombstone
+		// batch), never through a direct write.
+		return fmt.Errorf("graph: WriteSnapshot on a graph with %d tombstoned node(s); checkpoint via the WAL instead", g.deadCount)
+	}
 	enc := &snapEncoder{strIdx: make(map[string]uint64)}
 
 	// Payload sections first: encoding them interns into the string
@@ -620,6 +627,8 @@ func (d *snapDecoder) decode() (*Graph, error) {
 		maxOutDeg: meta.maxOutDeg,
 		maxInDeg:  meta.maxInDeg,
 		mem:       meta.mem,
+		version:   1,
+		lineage:   nextLineage(),
 		frozen:    true,
 	}
 	if g.labels, g.labelIDs, err = d.decodeDict("LBLS", meta.labels); err != nil {

@@ -90,6 +90,13 @@ func WriteSnapshot(w io.Writer, g *Graph) error {
 	if !g.frozen {
 		return fmt.Errorf("graph: WriteSnapshot requires a frozen graph; call Freeze first")
 	}
+	if g.HasTombstones() {
+		// The codecs represent every node slot as live; persisting a
+		// tombstoned graph goes through Live.Checkpoint's resurrect
+		// protocol (snapshot of the resurrected graph + a WAL tombstone
+		// batch), never through a direct write.
+		return fmt.Errorf("graph: WriteSnapshot on a graph with %d tombstoned node(s); checkpoint via the WAL instead", g.deadCount)
+	}
 	e := &snapV2Encoder{g: g, strIdx: make(map[string]uint32)}
 	payloads := e.build()
 	return writeSnapFraming(w, SnapshotVersion, snapSectionOrderV2, payloads)
@@ -583,6 +590,8 @@ func decodeSnapshotV2(data []byte, sections map[string]*snapSection, backing *sn
 		maxOutDeg: meta.maxOutDeg,
 		maxInDeg:  meta.maxInDeg,
 		mem:       meta.mem,
+		version:   1,
+		lineage:   nextLineage(),
 		frozen:    true,
 	}
 
@@ -1123,6 +1132,12 @@ func checkStrPerm(c *column, tab *strTable, perm []NodeID, nodeLabels []LabelID,
 			return secErr("IPRM", "index (%d, %d) lists node %d of label %d", key.label, key.attr, v, nodeLabels[v])
 		}
 		r := c.refs[v]
+		// Ref range is task 3's job, but that task runs concurrently with
+		// this one — bound the lookup here too so a corrupt file can't
+		// push bytesAt out of the offset view before task 3 rejects it.
+		if int64(r) >= int64(len(tab.offs)) {
+			return secErr("SREF", "attribute %d: node %d ref %d out of range [1,%d]", key.attr, v, r, len(tab.offs)-1)
+		}
 		if j > 0 {
 			cmp := 0
 			switch {

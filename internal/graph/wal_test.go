@@ -1,0 +1,446 @@
+package graph
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mutationsEqual compares batches field by field; Values compare by kind
+// and Compare (so NaN == NaN, and Str("12") != Num(12)).
+func mutationsEqual(a, b []Mutation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	valEq := func(x, y Value) bool { return x.Kind() == y.Kind() && x.Equal(y) }
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Op != y.Op || x.Node != y.Node || x.From != y.From || x.To != y.To ||
+			x.Label != y.Label || x.Attr != y.Attr || !valEq(x.Value, y.Value) ||
+			len(x.Attrs) != len(y.Attrs) {
+			return false
+		}
+		for j := range x.Attrs {
+			if x.Attrs[j].Name != y.Attrs[j].Name || !valEq(x.Attrs[j].Value, y.Attrs[j].Value) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sampleBatch() []Mutation {
+	return []Mutation{
+		{Op: MutAddNode, Label: "Person", Attrs: []AttrPair{
+			{Name: "age", Value: Int(30)},
+			{Name: "name", Value: Str("ann")},
+		}},
+		{Op: MutRemoveNode, Node: 3},
+		{Op: MutAddEdge, From: 0, To: 1, Label: "knows"},
+		{Op: MutRemoveEdge, From: 1, To: 2, Label: "knows"},
+		{Op: MutSetAttr, Node: 0, Attr: "age", Value: Int(31)},
+		{Op: MutSetAttr, Node: 0, Attr: "name", Value: Null}, // delete
+	}
+}
+
+func TestMutationCodecRoundTrip(t *testing.T) {
+	batch := sampleBatch()
+	data, err := EncodeMutations(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMutations(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mutationsEqual(batch, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", batch, got)
+	}
+	// Deterministic: encoding twice yields identical bytes.
+	data2, _ := EncodeMutations(batch)
+	if string(data) != string(data2) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestMutationCodecFaithfulValues(t *testing.T) {
+	// Values whose String() form would be re-parsed as a different kind
+	// must survive via the typed-object escape; plain values stay plain.
+	tricky := []Value{
+		Str("12"), Str("3.5"), Str("true"), Str("false"), Str("null"), Str(""),
+		Str("NaN"), Str("plain"), Int(12), Num(0.5), Num(math.NaN()),
+		Num(math.Inf(1)), Num(math.Inf(-1)), Bool(true), Bool(false),
+	}
+	for _, v := range tricky {
+		batch := []Mutation{{Op: MutSetAttr, Node: 0, Attr: "x", Value: v}}
+		data, err := EncodeMutations(batch)
+		if err != nil {
+			t.Fatalf("%v (%v): %v", v, v.Kind(), err)
+		}
+		got, err := DecodeMutations(data)
+		if err != nil {
+			t.Fatalf("%v (%v): decode: %v (wire %s)", v, v.Kind(), err, data)
+		}
+		w := got[0].Value
+		if w.Kind() != v.Kind() || !w.Equal(v) {
+			t.Errorf("value %v (%v) round-tripped to %v (%v); wire %s", v, v.Kind(), w, w.Kind(), data)
+		}
+	}
+	// Null SetAttr (deletion) round-trips as an absent value field.
+	batch := []Mutation{{Op: MutSetAttr, Node: 0, Attr: "x", Value: Null}}
+	data, _ := EncodeMutations(batch)
+	got, err := DecodeMutations(data)
+	if err != nil || got[0].Value.Kind() != KindNull {
+		t.Errorf("Null deletion round trip: %v, %v", got, err)
+	}
+}
+
+func TestDecodeMutationsErrors(t *testing.T) {
+	bad := map[string]string{
+		"not json":       "{",
+		"not array":      `{"op":"addNode"}`,
+		"unknown op":     `[{"op":"frobnicate"}]`,
+		"missing node":   `[{"op":"removeNode"}]`,
+		"negative node":  `[{"op":"removeNode","node":-1}]`,
+		"huge node":      `[{"op":"removeNode","node":4294967296}]`,
+		"missing from":   `[{"op":"addEdge","to":1,"label":"e"}]`,
+		"missing attr":   `[{"op":"setAttr","node":0}]`,
+		"bad value kind": `[{"op":"setAttr","node":0,"attr":"a","value":{"kind":"vector","value":"1"}}]`,
+		"bad number":     `[{"op":"setAttr","node":0,"attr":"a","value":{"kind":"number","value":"zz"}}]`,
+	}
+	for name, wire := range bad {
+		if _, err := DecodeMutations([]byte(wire)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.fdelta")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := sampleBatch()
+	b2 := []Mutation{{Op: MutAddNode, Label: "Org"}}
+	if err := w.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truncated || len(rep.Batches) != 2 {
+		t.Fatalf("replay: %d batches, truncated=%v", len(rep.Batches), rep.Truncated)
+	}
+	if !mutationsEqual(rep.Batches[0], b1) || !mutationsEqual(rep.Batches[1], b2) {
+		t.Fatal("replayed batches differ from appended ones")
+	}
+	// Reopening an existing log appends after the previous frames.
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3 := []Mutation{{Op: MutRemoveNode, Node: 0}}
+	if err := w2.Append(b3); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	rep, err = ReplayWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Batches) != 3 || !mutationsEqual(rep.Batches[2], b3) {
+		t.Fatalf("after reopen: %d batches", len(rep.Batches))
+	}
+}
+
+func TestWALReplayAppliesCleanly(t *testing.T) {
+	// End-to-end: base graph + logged batches == the live graph state.
+	base := buildSample(t)
+	l := NewLive(base)
+	defer l.Close()
+	path := filepath.Join(t.TempDir(), "g.fdelta")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]Mutation{
+		{{Op: MutAddNode, Label: "Person", Attrs: []AttrPair{{Name: "age", Value: Int(22)}}}},
+		{{Op: MutAddEdge, From: 5, To: 0, Label: "knows"}, {Op: MutSetAttr, Node: 5, Attr: "name", Value: Str("eve")}},
+		{{Op: MutRemoveNode, Node: 1}},
+	}
+	for _, b := range batches {
+		if _, err := l.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	rep, err := ReplayWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewLive(buildSample(t))
+	defer restored.Close()
+	for _, b := range rep.Batches {
+		if _, err := restored.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if restored.Version() != l.Version() {
+		t.Errorf("restored version %d, want %d", restored.Version(), l.Version())
+	}
+	if err := Equivalent(restored.Graph(), l.Graph()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.fdelta")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(sampleBatch())
+	sizeAfterFirst := w.Size()
+	w.Append([]Mutation{{Op: MutAddNode, Label: "Org"}})
+	w.Close()
+
+	// Tear the last frame mid-payload, as a crash mid-write would.
+	if err := os.Truncate(path, sizeAfterFirst+5); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || len(rep.Batches) != 1 || rep.TruncatedBytes != 5 {
+		t.Fatalf("torn replay: batches=%d truncated=%v bytes=%d", len(rep.Batches), rep.Truncated, rep.TruncatedBytes)
+	}
+	// Repair trims the torn bytes so the log is appendable again.
+	rep, err = ReplayWAL(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || len(rep.Batches) != 1 {
+		t.Fatalf("repair replay: batches=%d truncated=%v", len(rep.Batches), rep.Truncated)
+	}
+	fi, _ := os.Stat(path)
+	if fi.Size() != sizeAfterFirst {
+		t.Fatalf("repaired size %d, want %d", fi.Size(), sizeAfterFirst)
+	}
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]Mutation{{Op: MutRemoveNode, Node: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	rep, err = ReplayWAL(path, false)
+	if err != nil || rep.Truncated || len(rep.Batches) != 2 {
+		t.Fatalf("after repair+append: batches=%d truncated=%v err=%v", len(rep.Batches), rep.Truncated, err)
+	}
+}
+
+func TestWALCorruptFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.fdelta")
+	w, _ := OpenWAL(path)
+	w.Append(sampleBatch())
+	off := w.Size()
+	w.Append([]Mutation{{Op: MutAddNode, Label: "Org"}})
+	w.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off+9] ^= 0xFF // flip a payload byte inside the second frame
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || len(rep.Batches) != 1 {
+		t.Fatalf("corrupt frame: batches=%d truncated=%v", len(rep.Batches), rep.Truncated)
+	}
+}
+
+func TestWALBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.fdelta")
+	if err := os.WriteFile(path, []byte("NOTDELTA"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayWAL(path, false); err == nil {
+		t.Error("ReplayWAL accepted a log with a bad magic")
+	}
+	if _, err := OpenWAL(path); err == nil {
+		t.Error("OpenWAL accepted a log with a bad magic")
+	}
+	// A missing log reports the os error so callers can distinguish
+	// fresh-start from corruption.
+	if _, err := ReplayWAL(filepath.Join(t.TempDir(), "nope.fdelta"), false); !os.IsNotExist(err) {
+		t.Errorf("missing log: %v", err)
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.fdelta")
+	w, _ := OpenWAL(path)
+	for i := 0; i < 4; i++ {
+		if err := w.Append(sampleBatch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grew := w.Size()
+	// Checkpoint: truncate and (optionally) seed with a tombstone batch.
+	ckpt := TombstoneBatch([]NodeID{2, 7})
+	if err := w.Reset(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() >= grew {
+		t.Errorf("Reset did not shrink the log: %d -> %d", grew, w.Size())
+	}
+	w.Close()
+	rep, err := ReplayWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Batches) != 1 || !mutationsEqual(rep.Batches[0], ckpt) {
+		t.Fatalf("after reset: %d batches", len(rep.Batches))
+	}
+
+	// Reset with no batches empties the log entirely.
+	w2, _ := OpenWAL(path)
+	if err := w2.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	rep, err = ReplayWAL(path, false)
+	if err != nil || len(rep.Batches) != 0 || rep.Truncated {
+		t.Fatalf("empty reset: batches=%d err=%v", len(rep.Batches), err)
+	}
+}
+
+func TestWALEmptyLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.fdelta")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	rep, err := ReplayWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Batches) != 0 || rep.Truncated {
+		t.Fatalf("fresh log: batches=%d truncated=%v", len(rep.Batches), rep.Truncated)
+	}
+	// A log torn inside the magic itself replays as empty + truncated.
+	if err := os.Truncate(path, int64(len(WALMagic))-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayWAL(path, false); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("short magic: %v", err)
+	}
+}
+
+func TestWALEpoch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.fdelta")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Epoch() != 0 {
+		t.Fatalf("fresh log epoch %d, want 0", w.Epoch())
+	}
+	if err := w.Append(sampleBatch()); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint: rotate to epoch 3 with a tombstone batch.
+	ckpt := TombstoneBatch([]NodeID{1})
+	if err := w.ResetEpoch(3, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if w.Epoch() != 3 {
+		t.Fatalf("epoch after reset %d, want 3", w.Epoch())
+	}
+	// The adopted fd keeps appending to the renamed file.
+	if err := w.Append(sampleBatch()); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	rep, err := ReplayWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch != 3 || len(rep.Batches) != 2 || !mutationsEqual(rep.Batches[0], ckpt) {
+		t.Fatalf("replay: epoch=%d batches=%d", rep.Epoch, len(rep.Batches))
+	}
+	// Reopen reads the epoch back from the header.
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Epoch() != 3 {
+		t.Fatalf("reopened epoch %d, want 3", w2.Epoch())
+	}
+	// Reset without an epoch keeps the current one.
+	if err := w2.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Epoch() != 3 {
+		t.Fatalf("epoch after plain reset %d, want 3", w2.Epoch())
+	}
+	w2.Close()
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("reset left its tmp file behind: %v", err)
+	}
+}
+
+func TestWALTornHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.fdelta")
+	w, _ := OpenWAL(path)
+	w.Close()
+	// Tear the file inside the epoch field: magic intact, header short.
+	if err := os.Truncate(path, int64(len(WALMagic))+3); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayWAL(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || rep.TruncatedBytes != 3 || len(rep.Batches) != 0 {
+		t.Fatalf("torn header: %+v", rep)
+	}
+	// Repair rewrote a fresh epoch-0 header; the log is usable again.
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Epoch() != 0 {
+		t.Fatalf("repaired epoch %d, want 0", w2.Epoch())
+	}
+	if err := w2.Append(sampleBatch()); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	if rep, err := ReplayWAL(path, false); err != nil || len(rep.Batches) != 1 {
+		t.Fatalf("after repair: batches=%d err=%v", len(rep.Batches), err)
+	}
+}

@@ -10,7 +10,7 @@ import (
 
 // Corrupt SREF refs to out-of-range values and open mapped (CRC skipped).
 func TestReviewCorruptSrefPanic(t *testing.T) {
-	g := &Graph{}
+	g := New()
 	g.AddNode("L", map[string]Value{"s": Str("aaa")})
 	g.AddNode("L", map[string]Value{"s": Str("bbb")})
 	g.Freeze()

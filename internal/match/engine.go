@@ -36,6 +36,16 @@ type EngineOptions struct {
 	// negative value disables the cache. Results are identical in all
 	// settings.
 	DistCacheSize int
+	// SharedCache, when non-nil, is used as the engine's candidate cache
+	// instead of constructing one (CandCacheSize is then ignored). Entries
+	// are keyed by graph generation, so one cache can safely back the
+	// successive engines a mutating graph goes through — the warm entries
+	// of untouched generations keep hitting. Same-graph sharing only;
+	// callers pass the previous engine's Cache().
+	SharedCache *CandidateCache
+	// SharedDistCache is the analogous injection for the pair-distance
+	// cache; see SharedCache.
+	SharedDistCache *measure.PairCache
 }
 
 // EngineStats aggregates the work done through an Engine.
@@ -99,12 +109,12 @@ func NewEngine(g *graph.Graph, opts EngineOptions) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	var cache *CandidateCache
-	if opts.CandCacheSize >= 0 {
+	cache := opts.SharedCache
+	if cache == nil && opts.CandCacheSize >= 0 {
 		cache = NewCandidateCache(opts.CandCacheSize)
 	}
-	var dist *measure.PairCache
-	if opts.DistCacheSize >= 0 {
+	dist := opts.SharedDistCache
+	if dist == nil && opts.DistCacheSize >= 0 {
 		dist = measure.NewPairCache(opts.DistCacheSize)
 	}
 	e := &Engine{

@@ -490,7 +490,11 @@ func (m *Matcher) filteredCandidates(label string, lits []query.CompiledLiteral)
 	if m.Cache == nil {
 		return m.selectCandidates(label, lits)
 	}
-	key := candKey(label, lits)
+	// The graph generation prefix ((lineage, version), see graph.GenKey)
+	// makes a shared cache safe across graphs and across mutations: a
+	// post-mutation matcher can never be served a pre-mutation candidate
+	// list, and two graphs sharing one cache never collide.
+	key := m.G.GenKey() + "\x02" + candKey(label, lits)
 	if cached, ok := m.Cache.lookup(key); ok {
 		out := make([]graph.NodeID, len(cached))
 		copy(out, cached)

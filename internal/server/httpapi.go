@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"fairsqg/internal/graph"
 )
 
 // apiError is the JSON error body every non-2xx response carries.
@@ -44,6 +46,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("PUT /v1/graphs/{name}", s.handleUploadGraph)
 	mux.HandleFunc("POST /v1/graphs/{name}", s.handleUploadGraph)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/graphs/{name}/mutate", s.handleMutateGraph)
 
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("POST /v1/jobs/batch", s.handleBatchJobs)
@@ -205,6 +208,45 @@ func (s *Server) handleUploadGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	info, _ := s.reg.Info(name)
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleMutateGraph applies one mutation batch to a live graph. The body
+// is the JSON mutation array shared with the delta-log frames (see
+// graph.DecodeMutations): [{"op":"addNode","label":"Person","attrs":
+// {"age":"30"}}, {"op":"removeEdge","from":1,"to":2,"label":"knows"}].
+// The batch is all-or-nothing: any invalid op rejects the whole batch
+// with 422 and the graph is unchanged. On success the batch is durable
+// (fsync'd to the graph's delta log when snapshots are enabled) and
+// subsequent jobs evaluate against the new generation.
+func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "mutation body exceeds %d bytes", s.opts.MaxUploadBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	ops, err := graph.DecodeMutations(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.reg.Mutate(name, ops)
+	if err != nil {
+		if strings.Contains(err.Error(), "not registered") {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		// Validation failure: the batch named nodes/edges/kinds the graph
+		// does not have, or was internally inconsistent.
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {

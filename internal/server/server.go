@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"fairsqg/internal/cluster"
+	"fairsqg/internal/graph"
 	"fairsqg/internal/match"
 )
 
@@ -56,6 +57,17 @@ type Options struct {
 	MmapGraphs bool
 	// RequireGraph makes /readyz fail until a graph is registered.
 	RequireGraph bool
+	// CompactAfter, when > 0, checkpoints a live graph in the background
+	// once it accumulates that many mutation ops since its last
+	// compaction: the copy-on-write generations re-freeze into a
+	// canonical layout and, with SnapshotDir set, the resurrected image
+	// is written as the next-epoch snapshot and the delta log resets —
+	// bounding both the overlay chain and the restart replay work.
+	CompactAfter int
+	// OnMutate, when set, observes every applied mutation batch (after
+	// it is durable); online generation jobs use it to re-score archived
+	// instances against the new graph state.
+	OnMutate func(name string, ops []graph.Mutation, res *graph.ApplyResult)
 	// Cluster, when set, puts the server in coordinator mode: par jobs
 	// are scheduled over the coordinator's worker fleet instead of the
 	// local lattice walk, /metrics grows a `cluster` section, and /readyz
@@ -96,6 +108,8 @@ func New(opts Options) *Server {
 	}
 	s.reg.disableAttrIndex = opts.DisableAttrIndex
 	s.reg.order = opts.Order
+	s.reg.compactAfter = opts.CompactAfter
+	s.reg.onMutate = opts.OnMutate
 	s.logger = opts.Logger
 	if opts.SnapshotDir != "" {
 		snaps, err := newSnapshotStore(opts.SnapshotDir, opts.MmapGraphs, opts.Logger)
@@ -198,8 +212,10 @@ func (s *Server) MetricsSnapshot() map[string]any {
 				"indexBytes":      indexBytes,
 				"columnBytes":     columnBytes,
 			}
+			st["mutations"] = s.reg.muts.counters()
 			if s.snaps != nil {
 				st["snapshots"] = s.snaps.counters()
+				st["wal"] = s.snaps.wal.counters()
 			}
 			return st
 		}(),
